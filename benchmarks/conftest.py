@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+scale, prints the formatted artefact (captured into ``bench_output.txt`` by
+the top-level command) and records headline numbers in
+``benchmark.extra_info`` so they appear in the pytest-benchmark JSON output.
+
+Benchmarks run exactly once per session (``rounds=1``): they are experiment
+regenerations, not micro-benchmarks, and some take minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_benchmarks():
+    seed_everything(2023)
+    yield
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    return run_once

@@ -1,0 +1,50 @@
+"""Extra ablation bench: span masking vs. token-level masking.
+
+DESIGN.md calls out the span-masking design choice: because consecutive roads
+are adjacent in the network, single-token masking is trivially solvable from
+the neighbours, so the paper masks *spans*.  This benchmark trains START with
+span length 2 (the paper's l_m) and with span length 1 (token-level masking)
+and compares the masked-recovery difficulty and downstream travel time error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Pretrainer, small_config
+from repro.eval import TaskSettings, run_travel_time_task
+from repro.experiments import build_start, experiment_dataset
+
+
+def _train_variant(mask_length: int) -> dict:
+    config = small_config(mask_length=mask_length, use_contrastive_loss=False)
+    dataset = experiment_dataset("synthetic-porto", scale=0.3)
+    model = build_start(dataset, config)
+    history = Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=3)
+    eta = run_travel_time_task(model, dataset, config, TaskSettings(finetune_epochs=3))
+    return {"final_mask_loss": history.mask[-1], "eta_mape": eta["MAPE"]}
+
+
+def test_span_vs_token_masking(benchmark, once, capsys):
+    def run() -> dict:
+        return {"span": _train_variant(mask_length=2), "token": _train_variant(mask_length=1)}
+
+    result = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Span-masking ablation (mask-only pre-training):")
+        for name, stats in result.items():
+            print(
+                f"  {name:5s} masking: final mask loss = {stats['final_mask_loss']:.3f}, "
+                f"ETA MAPE = {stats['eta_mape']:.2f}"
+            )
+
+    # Token-level masking is the easier pre-training task (adjacent roads give
+    # the answer away), so its final recovery loss should not exceed the
+    # span-masking loss by much.
+    assert np.isfinite(result["span"]["final_mask_loss"])
+    assert result["token"]["final_mask_loss"] <= result["span"]["final_mask_loss"] * 1.5 + 0.5
+    benchmark.extra_info["span_mask_loss"] = result["span"]["final_mask_loss"]
+    benchmark.extra_info["token_mask_loss"] = result["token"]["final_mask_loss"]
+    benchmark.extra_info["span_eta_mape"] = result["span"]["eta_mape"]
+    benchmark.extra_info["token_eta_mape"] = result["token"]["eta_mape"]

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 10 (efficiency and scalability)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure10Settings, format_figure10, run_figure10
+
+
+def test_figure10_efficiency_and_scalability(benchmark, once, capsys):
+    settings = Figure10Settings(
+        scale=0.3,
+        pretrain_epochs=1,
+        encode_sizes=(20, 40, 80),
+        query_sizes=(5, 10, 20),
+        deep_models=("Trembr", "Toast", "START"),
+        classical_measures=("DTW", "LCSS", "Frechet", "EDR"),
+    )
+    result = once(benchmark, run_figure10, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure10(result))
+
+    inference = result["inference"]
+    # Panel (a): encoding time grows (roughly linearly) with the dataset size.
+    for name, series in inference["seconds"].items():
+        assert series[-1] >= series[0] * 0.5  # monotone up to timing noise
+
+    similarity = result["similarity"]
+    assert similarity["query_sizes"], "no similarity benchmark points were produced"
+    deep_time = np.mean(
+        [np.mean(similarity["query_time"][name]) for name in ("Trembr", "Toast", "START")]
+    )
+    classical_time = np.mean(
+        [np.mean(similarity["query_time"][name]) for name in ("DTW", "LCSS", "Frechet", "EDR")]
+    )
+    # Paper shape: representation-based search is much faster than pairwise
+    # classical measures (an order of magnitude in the paper; we require 3x).
+    assert deep_time * 3.0 < classical_time
+    # Paper shape: START's mean rank stays in the same ballpark as the best
+    # classical measure (the paper shows it is better; smoke scale is noisy).
+    start_mr = np.mean(similarity["mean_rank"]["START"])
+    classical_mr = min(np.mean(similarity["mean_rank"][m]) for m in ("DTW", "LCSS", "Frechet", "EDR"))
+    assert start_mr <= classical_mr * 5.0 + 10.0
+    benchmark.extra_info["deep_query_seconds"] = float(deep_time)
+    benchmark.extra_info["classical_query_seconds"] = float(classical_time)
+    benchmark.extra_info["start_mean_rank"] = float(start_mr)

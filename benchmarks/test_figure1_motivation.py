@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1 (temporal regularities and travel semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1_motivating_statistics(benchmark, once, capsys):
+    result = once(benchmark, run_figure1, scale=0.3, dataset_name="synthetic-bj")
+    with capsys.disabled():
+        print()
+        print(format_figure1(result))
+
+    # (a) travel semantics: road visit frequencies are far from uniform.
+    assert result["visit_frequencies"]["gini"] > 0.2
+    # (b) periodic pattern: weekday rush hours dominate the small hours.
+    weekday = np.array(result["weekday_hourly_counts"], dtype=float)
+    assert weekday[7:10].sum() + weekday[17:20].sum() > 2 * weekday[0:5].sum()
+    # (c) irregular intervals: non-trivial spread between consecutive roads.
+    assert result["interval_distribution"]["std_s"] > 1.0
+    benchmark.extra_info["visit_gini"] = result["visit_frequencies"]["gini"]
+    benchmark.extra_info["interval_std_s"] = result["interval_distribution"]["std_s"]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 3 (MAPE by departure time and trajectory hops)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure3Settings, format_figure3, run_figure3
+
+
+def test_figure3_mape_under_scenarios(benchmark, once, capsys):
+    settings = Figure3Settings(scale=0.3, pretrain_epochs=3, finetune_epochs=3)
+    result = once(benchmark, run_figure3, settings)
+    with capsys.disabled():
+        print()
+        print(format_figure3(result))
+
+    series = result["series"]
+    assert set(series) == {"START", "w/o Temporal", "Trembr"}
+    for name, data in series.items():
+        assert np.isfinite(data["overall"])
+        assert len(data["weekday_by_hour"]) == len(result["hour_buckets"])
+        assert len(data["by_hops"]) == len(result["hop_buckets"])
+
+    # Paper shape: START (with temporal modules) beats at least one of the two
+    # temporal-blind competitors overall (generous margin at smoke scale).
+    competitors = [series["w/o Temporal"]["overall"], series["Trembr"]["overall"]]
+    assert series["START"]["overall"] <= max(competitors) + 5.0
+    benchmark.extra_info["start_overall_mape"] = series["START"]["overall"]
+    benchmark.extra_info["wo_temporal_overall_mape"] = series["w/o Temporal"]["overall"]
+    benchmark.extra_info["trembr_overall_mape"] = series["Trembr"]["overall"]

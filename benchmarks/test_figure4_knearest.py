@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 4 (k-nearest precision vs. detour proportion)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure4Settings, format_figure4, run_figure4
+
+
+def test_figure4_knearest_precision(benchmark, once, capsys):
+    settings = Figure4Settings(
+        scale=0.3,
+        pretrain_epochs=3,
+        proportions=(0.1, 0.2, 0.3, 0.4, 0.5),
+        num_queries=12,
+        database_size=50,
+        models=("Trembr", "Transformer", "Toast", "START"),
+    )
+    result = once(benchmark, run_figure4, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure4(result))
+
+    assert set(result["precision"]) == set(settings.models)
+    for name, series in result["precision"].items():
+        assert len(series) == len(settings.proportions)
+        assert all(0.0 <= value <= 1.0 for value in series)
+
+    # Paper shape: precision does not improve as the detour grows (it should
+    # decay); at smoke scale we only assert the weak direction of the trend
+    # and record the full series for EXPERIMENTS.md.
+    start_series = np.array(result["precision"]["START"])
+    assert start_series[:2].mean() >= start_series[-2:].mean() - 0.15
+    benchmark.extra_info["start_precision_series"] = [float(x) for x in start_series]
+    benchmark.extra_info["per_model_final_precision"] = {
+        name: float(series[-1]) for name, series in result["precision"].items()
+    }

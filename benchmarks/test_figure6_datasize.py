@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 6 (pre-training vs. labelled-data size)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure6Settings, format_figure6, run_figure6
+
+
+def test_figure6_pretraining_vs_train_size(benchmark, once, capsys):
+    settings = Figure6Settings(scale=0.3, fractions=(0.5, 1.0), pretrain_epochs=3, finetune_epochs=3)
+    result = once(benchmark, run_figure6, "synthetic-bj", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure6(result))
+
+    assert len(result["train_sizes"]) == 2
+    pretrain_mape = np.array(result["eta_mape"]["Pre-train"])
+    scratch_mape = np.array(result["eta_mape"]["No Pre-train"])
+    assert np.isfinite(pretrain_mape).all() and np.isfinite(scratch_mape).all()
+
+    # Paper shape: pre-training helps on average across training-set sizes
+    # (generous tolerance at smoke scale; see EXPERIMENTS.md for the numbers).
+    assert pretrain_mape.mean() <= scratch_mape.mean() + 8.0
+    benchmark.extra_info["pretrain_mape"] = pretrain_mape.tolist()
+    benchmark.extra_info["no_pretrain_mape"] = scratch_mape.tolist()
+    benchmark.extra_info["pretrain_cls"] = result["classification"]["Pre-train"]
+    benchmark.extra_info["no_pretrain_cls"] = result["classification"]["No Pre-train"]

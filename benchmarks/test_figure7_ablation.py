@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 7 (ablation study of every START sub-module)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ABLATION_VARIANTS, Figure7Settings, format_figure7, run_figure7
+
+
+def test_figure7_ablations(benchmark, once, capsys):
+    settings = Figure7Settings(
+        scale=0.3, pretrain_epochs=2, finetune_epochs=3, num_queries=12, num_negatives=36
+    )
+    rows = once(benchmark, run_figure7, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure7(rows))
+
+    assert len(rows) == len(ABLATION_VARIANTS)
+    by_variant = {row["Variant"]: row for row in rows}
+    for row in rows:
+        assert np.isfinite(row["MAPE"]) and row["MR"] >= 1.0
+
+    # Paper shape: the full model should not be the single worst configuration
+    # on the headline travel-time metric.
+    mape_values = sorted(row["MAPE"] for row in rows)
+    assert by_variant["START"]["MAPE"] <= mape_values[-1]
+    mr_rank = sorted(rows, key=lambda r: r["MR"]).index(by_variant["START"]) + 1
+    benchmark.extra_info["start_mape"] = by_variant["START"]["MAPE"]
+    benchmark.extra_info["worst_mape"] = mape_values[-1]
+    benchmark.extra_info["start_mr_rank"] = mr_rank

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (MAPE for each contrastive augmentation pair)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure8Settings, best_pair, format_figure8, run_figure8
+
+
+def test_figure8_augmentation_grid(benchmark, once, capsys):
+    settings = Figure8Settings(scale=0.3, pretrain_epochs=2, finetune_epochs=2)
+    result = once(benchmark, run_figure8, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure8(result))
+        print("best pair:", best_pair(result))
+
+    names = result["augmentations"]
+    assert set(names) == {"trim", "shift", "mask", "dropout"}
+    # All 10 unordered pairs (plus symmetric duplicates) must be present and finite.
+    for i, first in enumerate(names):
+        for second in names[i:]:
+            value = result["mape_grid"][(first, second)]
+            assert np.isfinite(value)
+            assert result["mape_grid"][(second, first)] == value
+    benchmark.extra_info["best_pair"] = list(best_pair(result))
+    benchmark.extra_info["grid"] = {f"{a}+{b}": v for (a, b), v in result["mape_grid"].items()}

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 9 (parameter sensitivity of START)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure9Settings, format_figure9, run_figure9
+
+
+def test_figure9_parameter_sensitivity(benchmark, once, capsys):
+    settings = Figure9Settings(
+        scale=0.3,
+        pretrain_epochs=2,
+        finetune_epochs=2,
+        encoder_layers=(1, 2, 3),
+        embedding_sizes=(16, 32, 64),
+        batch_sizes=(8, 16, 32),
+    )
+    result = once(benchmark, run_figure9, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_figure9(result))
+
+    for key in ("encoder_layers", "embedding_size", "batch_size"):
+        scores = np.array(result[key]["scores"])
+        assert len(scores) == 3
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all() and (scores <= 1).all()
+    benchmark.extra_info["encoder_layer_scores"] = result["encoder_layers"]["scores"]
+    benchmark.extra_info["embedding_size_scores"] = result["embedding_size"]["scores"]
+    benchmark.extra_info["batch_size_scores"] = result["batch_size"]["scores"]

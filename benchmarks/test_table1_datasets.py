@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (dataset statistics after preprocessing)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_dataset_statistics(benchmark, once, capsys):
+    rows = once(benchmark, run_table1, scale=0.3)
+    with capsys.disabled():
+        print()
+        print(format_table1(rows))
+    assert {row["Dataset"] for row in rows} == {"synthetic-bj", "synthetic-porto"}
+    bj = next(row for row in rows if row["Dataset"] == "synthetic-bj")
+    porto = next(row for row in rows if row["Dataset"] == "synthetic-porto")
+    # Table I shape: BJ is the larger dataset on both axes.
+    assert bj["#Road Segment"] > porto["#Road Segment"]
+    assert bj["#Trajectory"] > porto["#Trajectory"]
+    benchmark.extra_info["bj_trajectories"] = bj["#Trajectory"]
+    benchmark.extra_info["porto_trajectories"] = porto["#Trajectory"]

@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table II (overall comparison on three downstream tasks).
+
+All nine models (eight baselines + START) are pre-trained and evaluated on
+synthetic-Porto; a representative subset is additionally run on synthetic-BJ
+to keep the total benchmark time reasonable.  The assertion checks the
+paper's headline claim in a noise-tolerant way: START must rank among the top
+models for travel time and for similarity search.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Table2Settings, format_table2, run_table2, summarize_winners
+
+
+def _rank_of(rows: list[dict], model: str, key: str, lower_is_better: bool) -> int:
+    ordered = sorted(rows, key=lambda row: row[key], reverse=not lower_is_better)
+    return [row["Model"] for row in ordered].index(model) + 1
+
+
+def test_table2_synthetic_porto_all_models(benchmark, once, capsys):
+    settings = Table2Settings(scale=0.3, pretrain_epochs=3, finetune_epochs=3, num_queries=15, num_negatives=45)
+    rows = once(benchmark, run_table2, "synthetic-porto", settings)
+    with capsys.disabled():
+        print()
+        print(format_table2(rows))
+        print("winners:", summarize_winners(rows))
+
+    assert len(rows) == 9
+    eta_rank = _rank_of(rows, "START", "ETA MAPE", lower_is_better=True)
+    sim_rank = _rank_of(rows, "START", "SIM MR", lower_is_better=True)
+    # Paper shape: START leads travel time and similarity search.  The smoke
+    # scale is noisy, so the hard assertion only requires START to sit in the
+    # upper half of the table on both metrics; EXPERIMENTS.md records the
+    # actual ranks of the checked-in run.
+    assert eta_rank <= 5, f"START ranked {eta_rank} on ETA MAPE"
+    assert sim_rank <= 5, f"START ranked {sim_rank} on similarity MR"
+    benchmark.extra_info["start_eta_rank"] = eta_rank
+    benchmark.extra_info["start_sim_rank"] = sim_rank
+    benchmark.extra_info["start_mape"] = next(r["ETA MAPE"] for r in rows if r["Model"] == "START")
+
+
+def test_table2_synthetic_bj_subset(benchmark, once, capsys):
+    settings = Table2Settings(
+        scale=0.2,
+        pretrain_epochs=3,
+        finetune_epochs=3,
+        num_queries=12,
+        num_negatives=36,
+        models=("Trembr", "Toast", "START"),
+    )
+    rows = once(benchmark, run_table2, "synthetic-bj", settings)
+    with capsys.disabled():
+        print()
+        print(format_table2(rows))
+    assert len(rows) == 3
+    sim_rank = _rank_of(rows, "START", "SIM MR", lower_is_better=True)
+    assert sim_rank <= 2
+    benchmark.extra_info["start_sim_rank"] = sim_rank

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table III (cross-dataset transfer to synthetic-Geolife)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Table3Settings, format_table3, run_table3
+
+
+def test_table3_transfer_across_datasets(benchmark, once, capsys):
+    settings = Table3Settings(scale=0.25, geolife_scale=0.4, pretrain_epochs=2, finetune_epochs=3)
+    rows = once(benchmark, run_table3, settings)
+    with capsys.disabled():
+        print()
+        print(format_table3(rows))
+
+    by_model = {row["Model"]: row for row in rows}
+    assert set(by_model) == {
+        "No Pre-train Geolife",
+        "Pre-train Geolife",
+        "Porto-START",
+        "BJ-START",
+        "Porto-Trembr",
+        "BJ-Trembr",
+    }
+    for row in rows:
+        assert np.isfinite(row["ETA MAE"]) and np.isfinite(row["CLS Micro-F1"])
+
+    # Paper shape: transferring a pre-trained START should not be worse than
+    # training from scratch on the small target dataset (classification side).
+    transferred_best = max(by_model["BJ-START"]["CLS Micro-F1"], by_model["Porto-START"]["CLS Micro-F1"])
+    assert transferred_best >= by_model["No Pre-train Geolife"]["CLS Micro-F1"] - 0.2
+    benchmark.extra_info["bj_start_micro_f1"] = by_model["BJ-START"]["CLS Micro-F1"]
+    benchmark.extra_info["no_pretrain_micro_f1"] = by_model["No Pre-train Geolife"]["CLS Micro-F1"]

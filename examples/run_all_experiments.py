@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+This is the example-script twin of the ``benchmarks/`` directory: it calls the
+same experiment runners, prints every artefact and (optionally) writes them to
+a results file.  Scale and training length can be increased from the command
+line for higher-fidelity runs.
+
+Run:  python examples/run_all_experiments.py [--scale 0.3] [--output results.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    Figure3Settings,
+    Figure4Settings,
+    Figure5Settings,
+    Figure6Settings,
+    Figure7Settings,
+    Figure8Settings,
+    Figure9Settings,
+    Figure10Settings,
+    Table2Settings,
+    Table3Settings,
+    format_figure1,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_table1,
+    run_table2,
+    run_table3,
+    summarize_winners,
+)
+from repro.utils.seeding import seed_everything
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale multiplier")
+    parser.add_argument("--pretrain-epochs", type=int, default=4)
+    parser.add_argument("--finetune-epochs", type=int, default=4)
+    parser.add_argument("--output", type=str, default=None, help="also write the report to this file")
+    parser.add_argument("--skip", nargs="*", default=[], help="artefact names to skip, e.g. table2 figure7")
+    args = parser.parse_args(argv)
+
+    seed_everything(2023)
+    sections: list[str] = []
+
+    def emit(name: str, text: str) -> None:
+        print(text)
+        print()
+        sections.append(text)
+
+    if "table1" not in args.skip:
+        emit("table1", format_table1(run_table1(scale=args.scale)))
+    if "figure1" not in args.skip:
+        emit("figure1", format_figure1(run_figure1(scale=args.scale)))
+    if "table2" not in args.skip:
+        settings = Table2Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs
+        )
+        rows = run_table2("synthetic-porto", settings)
+        emit("table2", format_table2(rows) + "\nwinners: " + str(summarize_winners(rows)))
+    if "table3" not in args.skip:
+        emit("table3", format_table3(run_table3(Table3Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs))))
+    if "figure3" not in args.skip:
+        emit("figure3", format_figure3(run_figure3(Figure3Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs))))
+    if "figure4" not in args.skip:
+        emit("figure4", format_figure4(run_figure4("synthetic-porto", Figure4Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs))))
+    if "figure5" not in args.skip:
+        emit("figure5", format_figure5(run_figure5("synthetic-porto", Figure5Settings(
+            scale=args.scale, pretrain_epochs=min(args.pretrain_epochs, 3)))))
+    if "figure6" not in args.skip:
+        emit("figure6", format_figure6(run_figure6("synthetic-bj", Figure6Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs))))
+    if "figure7" not in args.skip:
+        emit("figure7", format_figure7(run_figure7("synthetic-porto", Figure7Settings(
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs))))
+    if "figure8" not in args.skip:
+        emit("figure8", format_figure8(run_figure8("synthetic-porto", Figure8Settings(
+            scale=args.scale, pretrain_epochs=min(args.pretrain_epochs, 3)))))
+    if "figure9" not in args.skip:
+        emit("figure9", format_figure9(run_figure9("synthetic-porto", Figure9Settings(
+            scale=args.scale, pretrain_epochs=min(args.pretrain_epochs, 3)))))
+    if "figure10" not in args.skip:
+        emit("figure10", format_figure10(run_figure10("synthetic-porto", Figure10Settings(scale=args.scale))))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Similarity search scenario: find detoured copies of trajectories.
+
+This reproduces the setup behind Table II's last three columns and Figures 4
+and 10: a fleet operator wants to find, for a query trip, the most similar
+trip in a large historical database — for example to spot drivers taking
+unnecessary detours or to identify popular routes.
+
+The script compares three ways of answering the query:
+
+* START representations + Euclidean distance (fast, learned);
+* Trembr representations (the strongest baseline);
+* classical pairwise measures (DTW / Fréchet), which are accurate on raw
+  geometry but orders of magnitude slower.
+
+Run:  python examples/similarity_search.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import build_baseline
+from repro.core import Pretrainer, STARTModel, small_config
+from repro.eval import evaluate_classical_search, evaluate_representation_search
+from repro.trajectory import build_dataset, build_similarity_benchmark
+from repro.utils.seeding import get_rng, seed_everything
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    seed_everything(11)
+    dataset = build_dataset("synthetic-porto", scale=0.4)
+    config = small_config()
+    print(f"dataset: {len(dataset)} trajectories on {dataset.network.num_roads} roads")
+
+    # Detour-based ground truth (Section IV-D4 of the paper).
+    benchmark = build_similarity_benchmark(
+        dataset.network,
+        dataset.test_trajectories() + dataset.validation_trajectories(),
+        num_queries=20,
+        num_negatives=80,
+        rng=get_rng(1),
+    )
+    print(f"benchmark: {len(benchmark.queries)} queries, {len(benchmark.database)} database trajectories")
+
+    # START, used directly from pre-training (no fine-tuning).
+    start = STARTModel.from_dataset(dataset, config)
+    Pretrainer(start, config).pretrain(dataset.train_trajectories(), epochs=5, verbose=False)
+    with Timer() as start_timer:
+        start_report = evaluate_representation_search(start.encode, benchmark)
+    print(f"START      {start_report}  ({start_timer.elapsed:.2f}s)")
+
+    # Trembr, the strongest baseline in the paper.
+    trembr = build_baseline("Trembr", dataset.network, config)
+    trembr.pretrain(dataset.train_trajectories(), epochs=5)
+    with Timer() as trembr_timer:
+        trembr_report = evaluate_representation_search(trembr.encode, benchmark)
+    print(f"Trembr     {trembr_report}  ({trembr_timer.elapsed:.2f}s)")
+
+    # Classical measures on raw coordinates.
+    for measure in ("DTW", "Frechet"):
+        with Timer() as classical_timer:
+            report = evaluate_classical_search(dataset.network, measure, benchmark)
+        print(f"{measure:10s} {report}  ({classical_timer.elapsed:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The pinned environment for this reproduction has no ``wheel`` package and no
+network access, so PEP 660 editable installs (which require building a wheel)
+are unavailable.  Keeping a ``setup.py`` alongside ``pyproject.toml`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path, which
+works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — a from-scratch reproduction of START (ICDE 2023).
+
+START is a two-stage self-supervised trajectory representation learning
+framework: a Trajectory Pattern-Enhanced Graph Attention Network (TPE-GAT)
+turns the road network plus travel semantics into road embeddings, and a
+Time-Aware Trajectory Encoder (TAT-Enc) turns road sequences plus temporal
+regularities into trajectory representations, pre-trained with span-masked
+recovery and contrastive learning.
+
+Sub-packages
+------------
+``repro.nn``
+    NumPy autodiff / neural-network substrate (replaces PyTorch).
+``repro.roadnet``
+    Road-network substrate: graphs, synthetic city generator, shortest paths.
+``repro.trajectory``
+    Trajectory substrate: generation, map matching, datasets, augmentation.
+``repro.core``
+    The START model, self-supervised pre-training and fine-tuning.
+``repro.baselines``
+    traj2vec, t2vec, Trembr, Transformer, BERT, PIM, PIM-TF, Toast, classical
+    similarity measures.
+``repro.eval``
+    Metrics and downstream-task evaluation harnesses.
+``repro.experiments``
+    Runners that regenerate every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

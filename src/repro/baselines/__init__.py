@@ -1,0 +1,47 @@
+"""`repro.baselines` — every comparison method of the paper's evaluation.
+
+Learned baselines (all expose the same interface as ``STARTModel``):
+traj2vec, t2vec, Trembr, Transformer (MLM), BERT, PIM, PIM-TF and Toast.
+Classical similarity measures: DTW, LCSS, discrete Fréchet and EDR.
+"""
+
+from repro.baselines.base import SequenceEncoderBaseline
+from repro.baselines.node2vec import Node2VecConfig, generate_walks, node2vec_embeddings, train_skipgram
+from repro.baselines.rnn_models import T2Vec, Traj2Vec, Trembr
+from repro.baselines.transformer_models import BERTBaseline, PIMTF, Toast, TransformerMLM
+from repro.baselines.pim import PIM
+from repro.baselines.classical import (
+    CLASSICAL_MEASURES,
+    ClassicalSimilarity,
+    dtw_distance,
+    edr_distance,
+    frechet_distance,
+    lcss_distance,
+    trajectory_coordinates,
+)
+from repro.baselines.registry import BASELINE_NAMES, build_baseline
+
+__all__ = [
+    "SequenceEncoderBaseline",
+    "Node2VecConfig",
+    "node2vec_embeddings",
+    "generate_walks",
+    "train_skipgram",
+    "Traj2Vec",
+    "T2Vec",
+    "Trembr",
+    "TransformerMLM",
+    "BERTBaseline",
+    "PIMTF",
+    "Toast",
+    "PIM",
+    "CLASSICAL_MEASURES",
+    "ClassicalSimilarity",
+    "dtw_distance",
+    "lcss_distance",
+    "frechet_distance",
+    "edr_distance",
+    "trajectory_coordinates",
+    "BASELINE_NAMES",
+    "build_baseline",
+]

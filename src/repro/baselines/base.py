@@ -1,0 +1,115 @@
+"""Shared infrastructure for the baseline trajectory encoders.
+
+Every learned baseline implements the same interface as
+:class:`~repro.core.model.STARTModel`:
+
+* ``forward(batch) -> (sequence_output, pooled)``;
+* ``encode(trajectories) -> (N, d) ndarray``;
+* ``make_builder() -> BatchBuilder``;
+* ``pretrain(trajectories, epochs) -> list of per-epoch losses``.
+
+Because the interface matches, the downstream fine-tuning heads
+(:class:`~repro.core.finetuning.TravelTimeEstimator` and
+:class:`~repro.core.finetuning.TrajectoryClassifier`) and the similarity
+search harness work unchanged for START and for every baseline, which is
+exactly how the paper's Table II is produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batching import BatchBuilder, TrajectoryBatch
+from repro.core.config import StartConfig
+from repro.core import tokens as tok
+from repro.nn import Embedding, Module, Tensor, no_grad
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+class SequenceEncoderBaseline(Module):
+    """Base class: token embedding + common encode/builder plumbing."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: StartConfig | None = None,
+        road_embeddings: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or StartConfig()
+        self.network = network
+        self.num_roads = network.num_roads
+        rng = get_rng(self.config.seed)
+        self.token_embedding = Embedding(
+            tok.vocabulary_size(self.num_roads), self.config.d_model, padding_idx=tok.PAD_TOKEN, rng=rng
+        )
+        if road_embeddings is not None:
+            if road_embeddings.shape != (self.num_roads, self.config.d_model):
+                raise ValueError(
+                    "road_embeddings must have shape (num_roads, d_model); "
+                    f"got {road_embeddings.shape}"
+                )
+            self.token_embedding.weight.data[tok.NUM_SPECIAL_TOKENS :] = road_embeddings.astype(
+                np.float32
+            )
+
+    # ------------------------------------------------------------------ #
+    # Interface shared with STARTModel
+    # ------------------------------------------------------------------ #
+    def make_builder(self, rng: np.random.Generator | None = None) -> BatchBuilder:
+        return BatchBuilder(
+            num_roads=self.num_roads,
+            max_length=self.config.max_trajectory_length,
+            mask_ratio=self.config.mask_ratio,
+            mask_length=1,  # baselines use token-level masking, not spans
+            rng=rng if rng is not None else get_rng(self.config.seed),
+        )
+
+    def forward(self, batch: TrajectoryBatch) -> tuple[Tensor, Tensor]:
+        raise NotImplementedError
+
+    def pretrain(self, trajectories: list[Trajectory], epochs: int | None = None) -> list[float]:
+        raise NotImplementedError
+
+    def encode(
+        self,
+        trajectories: list[Trajectory],
+        batch_size: int | None = None,
+        time_mode: str = "full",
+    ) -> np.ndarray:
+        """Encode trajectories into ``(N, d)`` vectors without gradients."""
+        if not trajectories:
+            return np.zeros((0, self.config.d_model), dtype=np.float32)
+        batch_size = batch_size or self.config.batch_size
+        builder = self.make_builder()
+        was_training = self.training
+        self.eval()
+        outputs: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(trajectories), batch_size):
+                chunk = trajectories[start : start + batch_size]
+                batch = builder.build(chunk, span_mask=False, time_mode=time_mode)
+                _, pooled = self.forward(batch)
+                outputs.append(pooled.data.astype(np.float32))
+        if was_training:
+            self.train()
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _embed_tokens(self, batch: TrajectoryBatch) -> Tensor:
+        """(B, L, d) token embeddings (no positional or temporal information)."""
+        return self.token_embedding(batch.tokens)
+
+    @staticmethod
+    def _road_targets(batch: TrajectoryBatch) -> np.ndarray:
+        """Per-position road-id targets (IGNORE_LABEL on [CLS], [PAD] and specials)."""
+        targets = np.full(batch.tokens.shape, tok.IGNORE_LABEL, dtype=np.int64)
+        is_road = batch.tokens >= tok.NUM_SPECIAL_TOKENS
+        targets[is_road] = batch.tokens[is_road] - tok.NUM_SPECIAL_TOKENS
+        return targets

@@ -1,0 +1,123 @@
+"""Classical trajectory similarity measures: DTW, LCSS, discrete Fréchet, EDR.
+
+These are the non-learned comparators of Figure 10: pairwise measures with
+``O(L^2)`` cost per comparison, operating directly on the coordinate sequences
+of trajectories (road-segment midpoints in this reproduction).  They provide
+both the efficiency contrast (representation distance is ``O(d)``) and an
+accuracy reference for the most-similar-search experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory
+
+
+def trajectory_coordinates(network: RoadNetwork, trajectory: Trajectory) -> np.ndarray:
+    """``(n, 2)`` midpoint coordinates of the trajectory's road segments."""
+    return np.array([network.segment(r).midpoint for r in trajectory.roads], dtype=np.float64)
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Dynamic time warping distance between two coordinate sequences."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return np.inf
+    cost = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=-1)
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            table[i, j] = cost[i - 1, j - 1] + min(
+                table[i - 1, j], table[i, j - 1], table[i - 1, j - 1]
+            )
+    return float(table[n, m])
+
+
+def lcss_distance(a: np.ndarray, b: np.ndarray, epsilon: float = 100.0) -> float:
+    """LCSS-based distance: ``1 - LCSS / min(n, m)`` (smaller is more similar)."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return 1.0
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if np.linalg.norm(a[i - 1] - b[j - 1]) <= epsilon:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(1.0 - table[n, m] / min(n, m))
+
+
+def frechet_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Discrete Fréchet distance between two coordinate sequences."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return np.inf
+    cost = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=-1)
+    table = np.full((n, m), -1.0)
+    table[0, 0] = cost[0, 0]
+    for i in range(1, n):
+        table[i, 0] = max(table[i - 1, 0], cost[i, 0])
+    for j in range(1, m):
+        table[0, j] = max(table[0, j - 1], cost[0, j])
+    for i in range(1, n):
+        for j in range(1, m):
+            table[i, j] = max(min(table[i - 1, j], table[i - 1, j - 1], table[i, j - 1]), cost[i, j])
+    return float(table[n - 1, m - 1])
+
+
+def edr_distance(a: np.ndarray, b: np.ndarray, epsilon: float = 100.0) -> float:
+    """Edit distance on real sequences, normalised by the longer length."""
+    n, m = len(a), len(b)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return 1.0
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    table[:, 0] = np.arange(n + 1)
+    table[0, :] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            substitution = 0 if np.linalg.norm(a[i - 1] - b[j - 1]) <= epsilon else 1
+            table[i, j] = min(
+                table[i - 1, j - 1] + substitution,
+                table[i - 1, j] + 1,
+                table[i, j - 1] + 1,
+            )
+    return float(table[n, m] / max(n, m))
+
+
+CLASSICAL_MEASURES = {
+    "DTW": dtw_distance,
+    "LCSS": lcss_distance,
+    "Frechet": frechet_distance,
+    "EDR": edr_distance,
+}
+
+
+class ClassicalSimilarity:
+    """Convenience wrapper: distance between two trajectories by measure name."""
+
+    def __init__(self, network: RoadNetwork, measure: str = "DTW") -> None:
+        if measure not in CLASSICAL_MEASURES:
+            raise ValueError(f"unknown measure '{measure}', expected one of {sorted(CLASSICAL_MEASURES)}")
+        self.network = network
+        self.measure = measure
+        self._function = CLASSICAL_MEASURES[measure]
+        self._cache: dict[int, np.ndarray] = {}
+
+    def _coords(self, trajectory: Trajectory) -> np.ndarray:
+        key = id(trajectory)
+        if key not in self._cache:
+            self._cache[key] = trajectory_coordinates(self.network, trajectory)
+        return self._cache[key]
+
+    def distance(self, first: Trajectory, second: Trajectory) -> float:
+        return float(self._function(self._coords(first), self._coords(second)))
+
+    def distances_to_database(self, query: Trajectory, database: list[Trajectory]) -> np.ndarray:
+        """Distances from one query to every trajectory in the database."""
+        return np.array([self.distance(query, other) for other in database], dtype=np.float64)

@@ -1,0 +1,121 @@
+"""node2vec road-segment embeddings (Grover & Leskovec, 2016).
+
+PIM and Toast initialise their road embeddings with node2vec over the static
+road network; the ``w/ Node2vec`` ablation of START does the same.  The
+implementation is self-contained: biased second-order random walks over the
+road-segment graph followed by skip-gram training with negative sampling.
+The skip-gram step uses plain NumPy SGD (no autodiff) because the objective
+factorises per pair and is much faster that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class Node2VecConfig:
+    """Hyper-parameters of random walks and skip-gram training."""
+
+    dimensions: int = 64
+    walk_length: int = 20
+    walks_per_node: int = 5
+    window: int = 3
+    p: float = 1.0   # return parameter
+    q: float = 1.0   # in-out parameter
+    negatives: int = 4
+    epochs: int = 2
+    learning_rate: float = 0.025
+    seed: int = 0
+
+
+def generate_walks(network: RoadNetwork, config: Node2VecConfig) -> list[list[int]]:
+    """Biased second-order random walks over the road graph."""
+    rng = get_rng(config.seed)
+    walks: list[list[int]] = []
+    nodes = network.road_ids()
+    for _ in range(config.walks_per_node):
+        order = list(nodes)
+        rng.shuffle(order)
+        for start in order:
+            walk = [start]
+            while len(walk) < config.walk_length:
+                current = walk[-1]
+                neighbours = network.successors(current)
+                if not neighbours:
+                    break
+                if len(walk) == 1:
+                    walk.append(int(neighbours[int(rng.integers(len(neighbours)))]))
+                    continue
+                previous = walk[-2]
+                weights = np.empty(len(neighbours), dtype=np.float64)
+                for index, candidate in enumerate(neighbours):
+                    if candidate == previous:
+                        weights[index] = 1.0 / config.p
+                    elif network.is_connected_pair(previous, candidate):
+                        weights[index] = 1.0
+                    else:
+                        weights[index] = 1.0 / config.q
+                weights /= weights.sum()
+                walk.append(int(rng.choice(neighbours, p=weights)))
+            if len(walk) > 1:
+                walks.append(walk)
+    return walks
+
+
+def train_skipgram(
+    walks: list[list[int]], num_nodes: int, config: Node2VecConfig
+) -> np.ndarray:
+    """Skip-gram with negative sampling over the random walks."""
+    rng = get_rng(config.seed + 1)
+    dim = config.dimensions
+    embeddings = (rng.random((num_nodes, dim)) - 0.5) / dim
+    context = np.zeros((num_nodes, dim))
+
+    # Negative sampling distribution ~ frequency^0.75.
+    frequency = np.zeros(num_nodes)
+    for walk in walks:
+        for node in walk:
+            frequency[node] += 1
+    frequency = np.maximum(frequency, 1e-3) ** 0.75
+    frequency /= frequency.sum()
+
+    lr = config.learning_rate
+    for _ in range(config.epochs):
+        for walk in walks:
+            for position, centre in enumerate(walk):
+                lo = max(position - config.window, 0)
+                hi = min(position + config.window + 1, len(walk))
+                for other in range(lo, hi):
+                    if other == position:
+                        continue
+                    target = walk[other]
+                    negatives = rng.choice(num_nodes, size=config.negatives, p=frequency)
+                    samples = np.concatenate(([target], negatives))
+                    labels = np.zeros(len(samples))
+                    labels[0] = 1.0
+                    centre_vec = embeddings[centre]
+                    ctx = context[samples]                      # (k, dim)
+                    scores = 1.0 / (1.0 + np.exp(-ctx @ centre_vec))
+                    gradient = (scores - labels)[:, None]       # (k, 1)
+                    grad_centre = (gradient * ctx).sum(axis=0)
+                    context[samples] -= lr * gradient * centre_vec
+                    embeddings[centre] -= lr * grad_centre
+    return embeddings.astype(np.float32)
+
+
+def node2vec_embeddings(network: RoadNetwork, config: Node2VecConfig | None = None) -> np.ndarray:
+    """End-to-end node2vec: walks + skip-gram, returning ``(V, dim)`` embeddings."""
+    config = config or Node2VecConfig()
+    walks = generate_walks(network, config)
+    if not walks:
+        rng = get_rng(config.seed)
+        return ((rng.random((network.num_roads, config.dimensions)) - 0.5) / config.dimensions).astype(
+            np.float32
+        )
+    return train_skipgram(walks, network.num_roads, config)

@@ -1,0 +1,91 @@
+"""PIM (Yang et al., IJCAI 2021): unsupervised path representation learning.
+
+The original PIM learns road embeddings with node2vec and trains an LSTM
+encoder by maximising mutual information between a path representation and
+its constituent road representations (with curriculum negative sampling).
+This reimplementation keeps the two-stage structure — node2vec-initialised
+road embeddings feeding an LSTM encoder — and uses an InfoNCE objective
+between the pooled trajectory representation and the mean road embedding of
+the same trajectory, with in-batch negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SequenceEncoderBaseline
+from repro.core import tokens as tok
+from repro.core.batching import TrajectoryBatch
+from repro.core.config import StartConfig
+from repro.nn import (
+    LSTM,
+    AdamW,
+    BatchIterator,
+    Tensor,
+    clip_grad_norm,
+    info_nce_loss,
+)
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+class PIM(SequenceEncoderBaseline):
+    """LSTM encoder trained with mutual-information maximisation."""
+
+    name = "PIM"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: StartConfig | None = None,
+        road_embeddings: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(network, config, road_embeddings)
+        rng = get_rng(self.config.seed + 30)
+        self.encoder = LSTM(self.config.d_model, self.config.d_model, rng=rng)
+        self._rng = rng
+
+    def forward(self, batch: TrajectoryBatch) -> tuple[Tensor, Tensor]:
+        embedded = self._embed_tokens(batch)
+        hidden_states, final = self.encoder(embedded, lengths=batch.lengths)
+        return hidden_states, final
+
+    def _loss(self, batch: TrajectoryBatch):
+        _, pooled = self.forward(batch)
+        embedded = self._embed_tokens(batch)
+        road_mask = (batch.tokens >= tok.NUM_SPECIAL_TOKENS).astype(np.float32)
+        weights = road_mask / np.maximum(road_mask.sum(axis=1, keepdims=True), 1.0)
+        keys = (embedded * Tensor(weights[:, :, None])).sum(axis=1)
+        return info_nce_loss(pooled, keys, np.arange(batch.batch_size))
+
+    def pretrain(self, trajectories: list[Trajectory], epochs: int | None = None) -> list[float]:
+        if len(trajectories) < 2:
+            raise ValueError("pre-training needs at least two trajectories")
+        epochs = epochs if epochs is not None else self.config.pretrain_epochs
+        builder = self.make_builder(rng=self._rng)
+        optimizer = AdamW(
+            self.parameters(), lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+        history: list[float] = []
+        self.train()
+        for _ in range(epochs):
+            iterator = BatchIterator(
+                len(trajectories), self.config.batch_size, shuffle=True, rng=self._rng
+            )
+            total, steps = 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                if len(chunk) < 2:
+                    continue
+                batch = builder.build(chunk, span_mask=False)
+                optimizer.zero_grad()
+                loss = self._loss(batch)
+                loss.backward()
+                clip_grad_norm(self.parameters(), self.config.gradient_clip)
+                optimizer.step()
+                total += loss.item()
+                steps += 1
+            history.append(total / max(steps, 1))
+        self.eval()
+        return history

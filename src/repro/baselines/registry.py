@@ -1,0 +1,68 @@
+"""Baseline registry: build any of the paper's comparison models by name.
+
+The experiment runners (Table II, Figures 4 and 10) iterate over this
+registry so adding a new baseline automatically includes it everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.node2vec import Node2VecConfig, node2vec_embeddings
+from repro.baselines.pim import PIM
+from repro.baselines.rnn_models import T2Vec, Traj2Vec, Trembr
+from repro.baselines.transformer_models import BERTBaseline, PIMTF, Toast, TransformerMLM
+from repro.core.config import StartConfig
+from repro.roadnet.network import RoadNetwork
+
+#: Names in the order they appear in Table II of the paper.
+BASELINE_NAMES = (
+    "traj2vec",
+    "t2vec",
+    "Trembr",
+    "Transformer",
+    "BERT",
+    "PIM",
+    "PIM-TF",
+    "Toast",
+)
+
+_NEEDS_NODE2VEC = {"PIM", "PIM-TF", "Toast"}
+
+_CLASSES = {
+    "traj2vec": Traj2Vec,
+    "t2vec": T2Vec,
+    "Trembr": Trembr,
+    "Transformer": TransformerMLM,
+    "BERT": BERTBaseline,
+    "PIM": PIM,
+    "PIM-TF": PIMTF,
+    "Toast": Toast,
+}
+
+
+def build_baseline(
+    name: str,
+    network: RoadNetwork,
+    config: StartConfig | None = None,
+    node2vec_cache: dict[int, np.ndarray] | None = None,
+):
+    """Instantiate a baseline by its Table II name.
+
+    ``node2vec_cache`` (keyed by ``id(network)``) avoids recomputing the road
+    embeddings when several two-stage baselines run on the same network.
+    """
+    if name not in _CLASSES:
+        raise ValueError(f"unknown baseline '{name}', expected one of {BASELINE_NAMES}")
+    config = config or StartConfig()
+    road_embeddings = None
+    if name in _NEEDS_NODE2VEC:
+        if node2vec_cache is not None and id(network) in node2vec_cache:
+            road_embeddings = node2vec_cache[id(network)]
+        else:
+            road_embeddings = node2vec_embeddings(
+                network, Node2VecConfig(dimensions=config.d_model, seed=config.seed)
+            )
+            if node2vec_cache is not None:
+                node2vec_cache[id(network)] = road_embeddings
+    return _CLASSES[name](network, config, road_embeddings=road_embeddings)

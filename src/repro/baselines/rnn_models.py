@@ -1,0 +1,156 @@
+"""RNN encoder-decoder baselines: traj2vec, t2vec and Trembr.
+
+These are the "encoder-decoder with reconstruction" family of the paper
+(Section IV-B, category 1).  All three share a GRU encoder whose final hidden
+state is the trajectory representation and a GRU decoder trained with teacher
+forcing; they differ in what the decoder reconstructs:
+
+* **traj2vec** — reconstructs the road sequence from the original input
+  (plain sequence-to-sequence autoencoder over feature sequences);
+* **t2vec** — denoising: the encoder sees a *downsampled* trajectory but the
+  decoder must reconstruct the full road sequence;
+* **Trembr** — reconstructs the road sequence *and* the per-road travel time,
+  which is why it is the strongest baseline in the paper: it is the only one
+  that uses temporal information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SequenceEncoderBaseline
+from repro.core import tokens as tok
+from repro.core.batching import TrajectoryBatch
+from repro.core.config import StartConfig
+from repro.nn import (
+    GRU,
+    AdamW,
+    BatchIterator,
+    Linear,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy,
+    mse_loss,
+)
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+class _RNNSeq2SeqBaseline(SequenceEncoderBaseline):
+    """Common GRU encoder-decoder machinery."""
+
+    #: Whether the decoder also regresses the time interval to the next road.
+    reconstruct_time = False
+    #: Probability of dropping each input position (t2vec's denoising input).
+    input_drop_probability = 0.0
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: StartConfig | None = None,
+        road_embeddings: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(network, config, road_embeddings)
+        rng = get_rng(self.config.seed + 10)
+        d = self.config.d_model
+        self.encoder = GRU(d, d, rng=rng)
+        self.decoder = GRU(d, d, rng=rng)
+        self.output_head = Linear(d, self.num_roads, rng=rng)
+        self.time_head = Linear(d, 1, rng=rng) if self.reconstruct_time else None
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: TrajectoryBatch) -> tuple[Tensor, Tensor]:
+        embedded = self._embed_tokens(batch)
+        hidden_states, final = self.encoder(embedded, lengths=batch.lengths)
+        return hidden_states, final
+
+    # ------------------------------------------------------------------ #
+    # Pre-training (reconstruction)
+    # ------------------------------------------------------------------ #
+    def _corrupt_tokens(self, tokens: np.ndarray, padding_mask: np.ndarray) -> np.ndarray:
+        """Randomly drop input roads (replace by [PAD]) for denoising models."""
+        if self.input_drop_probability <= 0:
+            return tokens
+        corrupted = tokens.copy()
+        drop = (self._rng.random(tokens.shape) < self.input_drop_probability) & ~padding_mask
+        drop[:, 0] = False  # keep [CLS]
+        corrupted[drop] = tok.PAD_TOKEN
+        return corrupted
+
+    def _reconstruction_loss(self, batch: TrajectoryBatch):
+        corrupted = self._corrupt_tokens(batch.tokens, batch.padding_mask)
+        embedded = self.token_embedding(corrupted)
+        _, final = self.encoder(embedded, lengths=batch.lengths)
+
+        # Teacher forcing: decoder input is the (uncorrupted) sequence shifted
+        # right, its initial hidden state is the trajectory representation.
+        decoder_inputs = self.token_embedding(batch.tokens[:, :-1])
+        decoder_states, _ = self.decoder(decoder_inputs, initial=final)
+        logits = self.output_head(decoder_states)
+
+        targets = self._road_targets(batch)[:, 1:]
+        flat_logits = logits.reshape(-1, self.num_roads)
+        loss = cross_entropy(flat_logits, targets.reshape(-1), ignore_index=tok.IGNORE_LABEL)
+
+        if self.reconstruct_time and self.time_head is not None:
+            intervals = np.diff(batch.timestamps, axis=1)  # (B, L-1)
+            valid = ~batch.padding_mask[:, 1:]
+            scale = 60.0  # learn minutes rather than raw seconds
+            predicted = self.time_head(decoder_states).reshape(intervals.shape)
+            masked_prediction = predicted * Tensor(valid.astype(np.float32))
+            masked_target = (intervals / scale) * valid
+            loss = loss + 0.5 * mse_loss(masked_prediction, masked_target)
+        return loss
+
+    def pretrain(self, trajectories: list[Trajectory], epochs: int | None = None) -> list[float]:
+        if len(trajectories) < 2:
+            raise ValueError("pre-training needs at least two trajectories")
+        epochs = epochs if epochs is not None else self.config.pretrain_epochs
+        builder = self.make_builder(rng=self._rng)
+        optimizer = AdamW(
+            self.parameters(), lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+        history: list[float] = []
+        self.train()
+        for _ in range(epochs):
+            iterator = BatchIterator(
+                len(trajectories), self.config.batch_size, shuffle=True, rng=self._rng
+            )
+            total, steps = 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                batch = builder.build(chunk, span_mask=False)
+                optimizer.zero_grad()
+                loss = self._reconstruction_loss(batch)
+                loss.backward()
+                clip_grad_norm(self.parameters(), self.config.gradient_clip)
+                optimizer.step()
+                total += loss.item()
+                steps += 1
+            history.append(total / max(steps, 1))
+        self.eval()
+        return history
+
+
+class Traj2Vec(_RNNSeq2SeqBaseline):
+    """traj2vec (Yao et al., 2017): plain seq2seq reconstruction."""
+
+    name = "traj2vec"
+
+
+class T2Vec(_RNNSeq2SeqBaseline):
+    """t2vec (Li et al., 2018): denoising seq2seq reconstruction."""
+
+    name = "t2vec"
+    input_drop_probability = 0.2
+
+
+class Trembr(_RNNSeq2SeqBaseline):
+    """Trembr (Fu & Lee, 2020): reconstructs roads and their travel times."""
+
+    name = "Trembr"
+    reconstruct_time = True

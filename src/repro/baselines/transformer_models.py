@@ -1,0 +1,208 @@
+"""Self-attention baselines: Transformer (MLM), BERT, PIM-TF and Toast.
+
+These cover the paper's "self-supervised sequence representation" category
+(Transformer, BERT) and the transformer halves of the two-stage category
+(PIM-TF, Toast).  All share a Transformer encoder over token embeddings plus
+positional encodings and use the [CLS] hidden state as the trajectory
+representation; they differ in the self-supervised objective:
+
+* **TransformerMLM** — token-level masked language modelling;
+* **BERTBaseline** — MLM plus the trajectory-pair order classification
+  described in Section IV-B (is the second half in its original order?);
+* **PIMTF** — mutual-information maximisation (InfoNCE) between the pooled
+  representation and the mean road embedding of the same trajectory;
+* **Toast** — node2vec-initialised road embeddings, MLM plus a trajectory
+  discrimination task (genuine vs corrupted road sequences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SequenceEncoderBaseline
+from repro.core import tokens as tok
+from repro.core.batching import TrajectoryBatch
+from repro.core.config import StartConfig
+from repro.nn import (
+    AdamW,
+    BatchIterator,
+    Linear,
+    PositionalEncoding,
+    Tensor,
+    TransformerEncoder,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    cross_entropy,
+    info_nce_loss,
+)
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+class _TransformerBaseline(SequenceEncoderBaseline):
+    """Shared Transformer encoder machinery."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: StartConfig | None = None,
+        road_embeddings: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(network, config, road_embeddings)
+        rng = get_rng(self.config.seed + 20)
+        d = self.config.d_model
+        self.positional_encoding = PositionalEncoding(d, max_len=self.config.max_trajectory_length + 1)
+        self.encoder = TransformerEncoder(
+            d_model=d,
+            num_heads=self.config.encoder_heads,
+            num_layers=self.config.encoder_layers,
+            d_hidden=self.config.ffn_dim,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        self.mlm_head = Linear(d, self.num_roads, rng=rng)
+        self._rng = rng
+
+    def forward(self, batch: TrajectoryBatch) -> tuple[Tensor, Tensor]:
+        embedded = self.positional_encoding(self._embed_tokens(batch))
+        hidden = self.encoder(embedded, key_padding_mask=batch.padding_mask)
+        return hidden, hidden[:, 0, :]
+
+    # ------------------------------------------------------------------ #
+    # Objectives (mixed and matched by subclasses)
+    # ------------------------------------------------------------------ #
+    def _mlm_loss(self, batch: TrajectoryBatch):
+        hidden, _ = self.forward(batch)
+        logits = self.mlm_head(hidden).reshape(-1, self.num_roads)
+        return cross_entropy(logits, batch.mask_labels.reshape(-1), ignore_index=tok.IGNORE_LABEL)
+
+    def _objective(self, builder, chunk: list[Trajectory]):
+        raise NotImplementedError
+
+    def pretrain(self, trajectories: list[Trajectory], epochs: int | None = None) -> list[float]:
+        if len(trajectories) < 2:
+            raise ValueError("pre-training needs at least two trajectories")
+        epochs = epochs if epochs is not None else self.config.pretrain_epochs
+        builder = self.make_builder(rng=self._rng)
+        optimizer = AdamW(
+            self.parameters(), lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+        history: list[float] = []
+        self.train()
+        for _ in range(epochs):
+            iterator = BatchIterator(
+                len(trajectories), self.config.batch_size, shuffle=True, rng=self._rng
+            )
+            total, steps = 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                if len(chunk) < 2:
+                    continue
+                optimizer.zero_grad()
+                loss = self._objective(builder, chunk)
+                loss.backward()
+                clip_grad_norm(self.parameters(), self.config.gradient_clip)
+                optimizer.step()
+                total += loss.item()
+                steps += 1
+            history.append(total / max(steps, 1))
+        self.eval()
+        return history
+
+
+class TransformerMLM(_TransformerBaseline):
+    """Vanilla Transformer encoder pre-trained with token-level MLM."""
+
+    name = "Transformer"
+
+    def _objective(self, builder, chunk):
+        batch = builder.build(chunk, span_mask=True)
+        return self._mlm_loss(batch)
+
+
+class BERTBaseline(_TransformerBaseline):
+    """BERT-style pre-training: MLM + trajectory-half order classification."""
+
+    name = "BERT"
+
+    def __init__(self, network, config=None, road_embeddings=None):
+        super().__init__(network, config, road_embeddings)
+        self.order_head = Linear(self.config.d_model, 1, rng=self._rng)
+
+    def _order_loss(self, builder, chunk: list[Trajectory]):
+        shuffled: list[Trajectory] = []
+        labels = np.zeros(len(chunk), dtype=np.float32)
+        for index, trajectory in enumerate(chunk):
+            half = len(trajectory) // 2
+            if self._rng.random() < 0.5:
+                labels[index] = 1.0
+                shuffled.append(trajectory)
+            else:
+                swapped = trajectory.copy()
+                swapped.roads = trajectory.roads[half:] + trajectory.roads[:half]
+                shuffled.append(swapped)
+        batch = builder.build(shuffled, span_mask=False)
+        _, pooled = self.forward(batch)
+        logits = self.order_head(pooled).reshape(len(chunk))
+        return binary_cross_entropy_with_logits(logits, labels)
+
+    def _objective(self, builder, chunk):
+        mlm = self._mlm_loss(builder.build(chunk, span_mask=True))
+        return mlm + self._order_loss(builder, chunk)
+
+
+class PIMTF(_TransformerBaseline):
+    """PIM with a Transformer encoder (the paper's PIM-TF variant)."""
+
+    name = "PIM-TF"
+
+    def _mutual_information_loss(self, builder, chunk: list[Trajectory]):
+        batch = builder.build(chunk, span_mask=False)
+        _, pooled = self.forward(batch)
+        # Positive key: mean road-token embedding of the same trajectory.
+        embedded = self._embed_tokens(batch)
+        road_mask = (batch.tokens >= tok.NUM_SPECIAL_TOKENS).astype(np.float32)
+        weights = road_mask / np.maximum(road_mask.sum(axis=1, keepdims=True), 1.0)
+        keys = (embedded * Tensor(weights[:, :, None])).sum(axis=1)
+        return info_nce_loss(pooled, keys, np.arange(len(chunk)))
+
+    def _objective(self, builder, chunk):
+        return self._mutual_information_loss(builder, chunk)
+
+
+class Toast(_TransformerBaseline):
+    """Toast (Chen et al., 2021): node2vec roads + MLM + trajectory discrimination."""
+
+    name = "Toast"
+
+    def __init__(self, network, config=None, road_embeddings=None):
+        super().__init__(network, config, road_embeddings)
+        self.discrimination_head = Linear(self.config.d_model, 1, rng=self._rng)
+
+    def _discrimination_loss(self, builder, chunk: list[Trajectory]):
+        corrupted: list[Trajectory] = []
+        labels = np.zeros(len(chunk), dtype=np.float32)
+        road_ids = self.network.road_ids()
+        for index, trajectory in enumerate(chunk):
+            if self._rng.random() < 0.5:
+                labels[index] = 1.0
+                corrupted.append(trajectory)
+            else:
+                fake = trajectory.copy()
+                length = len(fake)
+                span = max(length // 4, 1)
+                start = int(self._rng.integers(0, max(length - span, 1)))
+                replacement = [
+                    int(road_ids[int(self._rng.integers(len(road_ids)))]) for _ in range(span)
+                ]
+                fake.roads = fake.roads[:start] + replacement + fake.roads[start + span :]
+                corrupted.append(fake)
+        batch = builder.build(corrupted, span_mask=False)
+        _, pooled = self.forward(batch)
+        logits = self.discrimination_head(pooled).reshape(len(chunk))
+        return binary_cross_entropy_with_logits(logits, labels)
+
+    def _objective(self, builder, chunk):
+        mlm = self._mlm_loss(builder.build(chunk, span_mask=True))
+        return mlm + self._discrimination_loss(builder, chunk)

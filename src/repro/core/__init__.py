@@ -1,0 +1,64 @@
+"""`repro.core` — the START model and its training procedures.
+
+The package implements the paper's primary contribution: the TPE-GAT road
+encoder, the time-aware trajectory encoder (TAT-Enc), the two self-supervised
+pre-training tasks and the downstream fine-tuning heads.
+"""
+
+from repro.core.config import StartConfig, paper_config, small_config, tiny_config
+from repro.core import tokens
+from repro.core.tokens import (
+    CLS_TOKEN,
+    IGNORE_LABEL,
+    MASK_TOKEN,
+    NUM_SPECIAL_TOKENS,
+    PAD_TOKEN,
+    road_to_token,
+    token_to_road,
+    vocabulary_size,
+)
+from repro.core.tpe_gat import TPEGAT, TPEGATLayer
+from repro.core.time_features import TimePatternEmbedding
+from repro.core.interval import TimeIntervalBias, hop_interval_matrix, raw_interval_matrix
+from repro.core.batching import BatchBuilder, TrajectoryBatch
+from repro.core.model import STARTModel
+from repro.core.pretraining import Pretrainer, PretrainingHistory
+from repro.core.finetuning import (
+    ClassificationHead,
+    FinetuneHistory,
+    TravelTimeEstimator,
+    TravelTimeHead,
+    TrajectoryClassifier,
+)
+
+__all__ = [
+    "StartConfig",
+    "paper_config",
+    "small_config",
+    "tiny_config",
+    "tokens",
+    "PAD_TOKEN",
+    "CLS_TOKEN",
+    "MASK_TOKEN",
+    "NUM_SPECIAL_TOKENS",
+    "IGNORE_LABEL",
+    "road_to_token",
+    "token_to_road",
+    "vocabulary_size",
+    "TPEGAT",
+    "TPEGATLayer",
+    "TimePatternEmbedding",
+    "TimeIntervalBias",
+    "raw_interval_matrix",
+    "hop_interval_matrix",
+    "BatchBuilder",
+    "TrajectoryBatch",
+    "STARTModel",
+    "Pretrainer",
+    "PretrainingHistory",
+    "TravelTimeEstimator",
+    "TravelTimeHead",
+    "TrajectoryClassifier",
+    "ClassificationHead",
+    "FinetuneHistory",
+]

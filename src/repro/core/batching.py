@@ -1,0 +1,233 @@
+"""Batch construction for the trajectory encoders.
+
+Turns lists of :class:`~repro.trajectory.types.Trajectory` (or augmented
+views) into the padded integer/float arrays the model consumes: token ids
+with the ``[CLS]`` placeholder at position 0, minute / day-of-week indices,
+raw time-interval matrices, padding masks, span-mask labels and downstream
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import tokens as tok
+from repro.core.interval import raw_interval_matrix
+from repro.trajectory.augmentation import AugmentedView
+from repro.trajectory.types import Trajectory, day_of_week, minute_of_day
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class TrajectoryBatch:
+    """Model-ready arrays for one mini-batch (first position is [CLS])."""
+
+    tokens: np.ndarray                 # (B, L) int64
+    minute_indices: np.ndarray         # (B, L) int64
+    day_indices: np.ndarray            # (B, L) int64
+    timestamps: np.ndarray             # (B, L) float64
+    padding_mask: np.ndarray           # (B, L) bool, True = padded
+    intervals: np.ndarray              # (B, L, L) float64 seconds
+    mask_labels: np.ndarray            # (B, L) int64 road ids or IGNORE_LABEL
+    lengths: np.ndarray                # (B,) true lengths including [CLS]
+    travel_times: np.ndarray           # (B,) float64 seconds
+    class_labels: np.ndarray           # (B,) int64
+    use_embedding_dropout: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.tokens.shape[0])
+
+    @property
+    def seq_len(self) -> int:
+        return int(self.tokens.shape[1])
+
+
+def _span_mask_positions(
+    length: int, mask_ratio: float, mask_length: int, rng: np.random.Generator
+) -> list[int]:
+    """Choose consecutive spans covering ~``mask_ratio`` of the positions."""
+    if length <= 1:
+        return []
+    target = max(int(round(length * mask_ratio)), 1)
+    chosen: set[int] = set()
+    attempts = 0
+    while len(chosen) < target and attempts < 10 * target:
+        attempts += 1
+        start = int(rng.integers(0, length))
+        for offset in range(mask_length):
+            if start + offset < length and len(chosen) < target + mask_length:
+                chosen.add(start + offset)
+    return sorted(chosen)
+
+
+class BatchBuilder:
+    """Builds :class:`TrajectoryBatch` objects for pre-training and fine-tuning."""
+
+    def __init__(
+        self,
+        num_roads: int,
+        max_length: int = 128,
+        mask_ratio: float = 0.15,
+        mask_length: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.num_roads = num_roads
+        self.max_length = max_length
+        self.mask_ratio = mask_ratio
+        self.mask_length = mask_length
+        self._rng = rng if rng is not None else get_rng()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _truncate(self, roads: list[int], timestamps: list[float]) -> tuple[list[int], list[float]]:
+        limit = self.max_length - 1  # reserve one position for [CLS]
+        return roads[:limit], timestamps[:limit]
+
+    def _allocate(self, batch: int, width: int) -> dict[str, np.ndarray]:
+        return {
+            "tokens": np.full((batch, width), tok.PAD_TOKEN, dtype=np.int64),
+            "minutes": np.full((batch, width), tok.MINUTE_PAD, dtype=np.int64),
+            "days": np.full((batch, width), tok.DAY_PAD, dtype=np.int64),
+            "times": np.zeros((batch, width), dtype=np.float64),
+            "padding": np.ones((batch, width), dtype=bool),
+            "labels": np.full((batch, width), tok.IGNORE_LABEL, dtype=np.int64),
+            "lengths": np.zeros(batch, dtype=np.int64),
+        }
+
+    def _fill_row(
+        self,
+        arrays: dict[str, np.ndarray],
+        row: int,
+        roads: list[int],
+        timestamps: list[float],
+        mask_positions: list[int] | None,
+        add_labels: bool,
+        time_mode: str,
+    ) -> None:
+        """Populate one row; ``mask_positions`` are indices into ``roads``."""
+        length = len(roads) + 1  # plus [CLS]
+        arrays["lengths"][row] = length
+        arrays["padding"][row, :length] = False
+        departure = timestamps[0] if timestamps else 0.0
+
+        arrays["tokens"][row, 0] = tok.CLS_TOKEN
+        arrays["times"][row, 0] = departure
+        arrays["minutes"][row, 0] = minute_of_day(departure)
+        arrays["days"][row, 0] = day_of_week(departure)
+
+        mask_set = set(mask_positions or [])
+        for position, (road, timestamp) in enumerate(zip(roads, timestamps)):
+            column = position + 1
+            if time_mode == "departure_only":
+                arrays["times"][row, column] = departure
+                arrays["minutes"][row, column] = minute_of_day(departure)
+                arrays["days"][row, column] = day_of_week(departure)
+            else:
+                arrays["times"][row, column] = timestamp
+                arrays["minutes"][row, column] = minute_of_day(timestamp)
+                arrays["days"][row, column] = day_of_week(timestamp)
+            if position in mask_set:
+                arrays["tokens"][row, column] = tok.MASK_TOKEN
+                arrays["minutes"][row, column] = tok.MINUTE_MASK
+                arrays["days"][row, column] = tok.DAY_MASK
+                if add_labels:
+                    arrays["labels"][row, column] = road
+            else:
+                arrays["tokens"][row, column] = tok.road_to_token(road)
+
+    def _finalize(
+        self,
+        arrays: dict[str, np.ndarray],
+        trajectories: list[Trajectory] | None,
+        use_embedding_dropout: bool,
+        label_kind: str,
+    ) -> TrajectoryBatch:
+        intervals = raw_interval_matrix(arrays["times"], arrays["padding"])
+        travel_times = np.zeros(arrays["tokens"].shape[0], dtype=np.float64)
+        class_labels = np.zeros(arrays["tokens"].shape[0], dtype=np.int64)
+        if trajectories is not None:
+            travel_times = np.array([t.travel_time for t in trajectories], dtype=np.float64)
+            class_labels = np.array(
+                [_class_label(t, label_kind) for t in trajectories], dtype=np.int64
+            )
+        return TrajectoryBatch(
+            tokens=arrays["tokens"],
+            minute_indices=arrays["minutes"],
+            day_indices=arrays["days"],
+            timestamps=arrays["times"],
+            padding_mask=arrays["padding"],
+            intervals=intervals,
+            mask_labels=arrays["labels"],
+            lengths=arrays["lengths"],
+            travel_times=travel_times,
+            class_labels=class_labels,
+            use_embedding_dropout=use_embedding_dropout,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public builders
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        trajectories: list[Trajectory],
+        span_mask: bool = False,
+        time_mode: str = "full",
+        label_kind: str = "occupied",
+    ) -> TrajectoryBatch:
+        """Build a batch from plain trajectories.
+
+        Parameters
+        ----------
+        span_mask:
+            Apply span-masked recovery masking (pre-training).
+        time_mode:
+            ``"full"`` uses every visit time; ``"departure_only"`` exposes only
+            the departure time (used when fine-tuning travel-time estimation to
+            avoid label leakage).
+        label_kind:
+            Which classification label to extract ('occupied', 'driver', 'mode').
+        """
+        if time_mode not in ("full", "departure_only"):
+            raise ValueError("time_mode must be 'full' or 'departure_only'")
+        prepared = [self._truncate(t.roads, t.timestamps) for t in trajectories]
+        width = max(len(roads) for roads, _ in prepared) + 1
+        arrays = self._allocate(len(trajectories), width)
+        for row, (roads, times) in enumerate(prepared):
+            mask_positions = None
+            if span_mask:
+                mask_positions = _span_mask_positions(
+                    len(roads), self.mask_ratio, self.mask_length, self._rng
+                )
+            self._fill_row(
+                arrays, row, roads, times, mask_positions, add_labels=span_mask, time_mode=time_mode
+            )
+        return self._finalize(arrays, trajectories, False, label_kind)
+
+    def build_from_views(self, views: list[AugmentedView]) -> TrajectoryBatch:
+        """Build a batch from augmented views (contrastive learning)."""
+        prepared = [self._truncate(v.roads, v.timestamps) for v in views]
+        width = max(len(roads) for roads, _ in prepared) + 1
+        arrays = self._allocate(len(views), width)
+        any_dropout = any(v.use_embedding_dropout for v in views)
+        for row, ((roads, times), view) in enumerate(zip(prepared, views)):
+            mask_positions = [p for p in view.mask_positions if p < len(roads)]
+            self._fill_row(
+                arrays, row, roads, times, mask_positions, add_labels=False, time_mode="full"
+            )
+        return self._finalize(arrays, None, any_dropout, "occupied")
+
+
+def _class_label(trajectory: Trajectory, label_kind: str) -> int:
+    if label_kind == "occupied":
+        return int(trajectory.occupied)
+    if label_kind == "driver":
+        return int(trajectory.user_id)
+    if label_kind == "mode":
+        modes = ("car", "walk", "bike", "bus")
+        return modes.index(trajectory.mode) if trajectory.mode in modes else 0
+    raise ValueError(f"unknown label_kind '{label_kind}'")

@@ -1,0 +1,213 @@
+"""Fine-tuning START (or any encoder with the same interface) on downstream tasks.
+
+Two supervised heads are provided (Section III-D):
+
+* **travel time estimation** — a single fully-connected layer regressing the
+  trip duration; only the departure time is visible to the encoder during
+  fine-tuning to avoid leaking the answer through the time features;
+* **trajectory classification** — a fully-connected layer with softmax over
+  the task's classes (occupancy, driver id or transportation mode).
+
+The third downstream task, similarity search, uses the pre-trained
+representations directly and lives in :mod:`repro.eval.similarity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import StartConfig
+from repro.core.model import STARTModel
+from repro.nn import (
+    AdamW,
+    BatchIterator,
+    Linear,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy,
+    mse_loss,
+    no_grad,
+)
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+class TravelTimeHead(Module):
+    """Single fully-connected layer: representation -> normalised travel time."""
+
+    def __init__(self, d_model: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.fc = Linear(d_model, 1, rng=rng)
+
+    def forward(self, pooled: Tensor) -> Tensor:
+        return self.fc(pooled).reshape(pooled.shape[0])
+
+
+class ClassificationHead(Module):
+    """Single fully-connected layer producing class logits."""
+
+    def __init__(self, d_model: int, num_classes: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.fc = Linear(d_model, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, pooled: Tensor) -> Tensor:
+        return self.fc(pooled)
+
+
+@dataclass
+class FinetuneHistory:
+    """Per-epoch training loss of a fine-tuning run."""
+
+    loss: list[float] = field(default_factory=list)
+
+
+class TravelTimeEstimator:
+    """Fine-tunes an encoder plus regression head for travel time estimation."""
+
+    def __init__(self, model: STARTModel, config: StartConfig | None = None) -> None:
+        self.model = model
+        self.config = config or model.config
+        self._rng = get_rng(self.config.seed + 2)
+        self.head = TravelTimeHead(self.config.d_model, rng=self._rng)
+        self.builder = model.make_builder(rng=self._rng)
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def _normalise(self, seconds: np.ndarray) -> np.ndarray:
+        return (seconds - self._target_mean) / self._target_std
+
+    def _denormalise(self, values: np.ndarray) -> np.ndarray:
+        return values * self._target_std + self._target_mean
+
+    def fit(
+        self, trajectories: list[Trajectory], epochs: int | None = None, verbose: bool = False
+    ) -> FinetuneHistory:
+        """Fine-tune encoder and head with the MSE objective (Equation 16)."""
+        if not trajectories:
+            raise ValueError("cannot fine-tune on an empty trajectory list")
+        epochs = epochs if epochs is not None else self.config.finetune_epochs
+        targets = np.array([t.travel_time for t in trajectories], dtype=np.float64)
+        self._target_mean = float(targets.mean())
+        self._target_std = float(max(targets.std(), 1.0))
+
+        parameters = self.model.parameters() + self.head.parameters()
+        optimizer = AdamW(parameters, lr=self.config.learning_rate, weight_decay=self.config.weight_decay)
+        history = FinetuneHistory()
+        self.model.train()
+        self.head.train()
+        for _ in range(epochs):
+            iterator = BatchIterator(len(trajectories), self.config.batch_size, shuffle=True, rng=self._rng)
+            total, steps = 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                batch = self.builder.build(chunk, span_mask=False, time_mode="departure_only")
+                optimizer.zero_grad()
+                _, pooled = self.model(batch)
+                predictions = self.head(pooled)
+                loss = mse_loss(predictions, self._normalise(batch.travel_times))
+                loss.backward()
+                clip_grad_norm(parameters, self.config.gradient_clip)
+                optimizer.step()
+                total += loss.item()
+                steps += 1
+            history.loss.append(total / max(steps, 1))
+        self.model.eval()
+        self.head.eval()
+        return history
+
+    def predict(self, trajectories: list[Trajectory]) -> np.ndarray:
+        """Predicted travel times in seconds."""
+        self.model.eval()
+        self.head.eval()
+        outputs: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(trajectories), self.config.batch_size):
+                chunk = trajectories[start : start + self.config.batch_size]
+                batch = self.builder.build(chunk, span_mask=False, time_mode="departure_only")
+                _, pooled = self.model(batch)
+                outputs.append(self.head(pooled).data)
+        if not outputs:
+            return np.zeros(0)
+        return self._denormalise(np.concatenate(outputs, axis=0))
+
+
+class TrajectoryClassifier:
+    """Fine-tunes an encoder plus softmax head for trajectory classification."""
+
+    def __init__(
+        self,
+        model: STARTModel,
+        num_classes: int,
+        label_kind: str = "occupied",
+        config: StartConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.num_classes = num_classes
+        self.label_kind = label_kind
+        self._rng = get_rng(self.config.seed + 3)
+        self.head = ClassificationHead(self.config.d_model, num_classes, rng=self._rng)
+        self.builder = model.make_builder(rng=self._rng)
+
+    def fit(
+        self, trajectories: list[Trajectory], epochs: int | None = None, verbose: bool = False
+    ) -> FinetuneHistory:
+        """Fine-tune encoder and head with cross-entropy (Equation 17)."""
+        if not trajectories:
+            raise ValueError("cannot fine-tune on an empty trajectory list")
+        epochs = epochs if epochs is not None else self.config.finetune_epochs
+        parameters = self.model.parameters() + self.head.parameters()
+        optimizer = AdamW(parameters, lr=self.config.learning_rate, weight_decay=self.config.weight_decay)
+        history = FinetuneHistory()
+        self.model.train()
+        self.head.train()
+        for _ in range(epochs):
+            iterator = BatchIterator(len(trajectories), self.config.batch_size, shuffle=True, rng=self._rng)
+            total, steps = 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                batch = self.builder.build(chunk, span_mask=False, label_kind=self.label_kind)
+                optimizer.zero_grad()
+                _, pooled = self.model(batch)
+                logits = self.head(pooled)
+                loss = cross_entropy(logits, batch.class_labels)
+                loss.backward()
+                clip_grad_norm(parameters, self.config.gradient_clip)
+                optimizer.step()
+                total += loss.item()
+                steps += 1
+            history.loss.append(total / max(steps, 1))
+        self.model.eval()
+        self.head.eval()
+        return history
+
+    def predict_proba(self, trajectories: list[Trajectory]) -> np.ndarray:
+        """``(N, num_classes)`` class probabilities."""
+        self.model.eval()
+        self.head.eval()
+        outputs: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(trajectories), self.config.batch_size):
+                chunk = trajectories[start : start + self.config.batch_size]
+                batch = self.builder.build(chunk, span_mask=False, label_kind=self.label_kind)
+                _, pooled = self.model(batch)
+                probs = self.head(pooled).softmax(axis=-1)
+                outputs.append(probs.data)
+        if not outputs:
+            return np.zeros((0, self.num_classes))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, trajectories: list[Trajectory]) -> np.ndarray:
+        """Predicted class ids."""
+        probabilities = self.predict_proba(trajectories)
+        return probabilities.argmax(axis=1)
+
+    def labels_of(self, trajectories: list[Trajectory]) -> np.ndarray:
+        """Ground-truth labels for ``trajectories`` under this task's label kind."""
+        from repro.core.batching import _class_label
+
+        return np.array([_class_label(t, self.label_kind) for t in trajectories], dtype=np.int64)

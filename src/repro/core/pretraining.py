@@ -1,0 +1,162 @@
+"""Self-supervised pre-training of START (Section III-C).
+
+Two tasks are optimised jointly:
+
+* **span-masked trajectory recovery** — consecutive spans of roads are
+  replaced by ``[MASK]`` (and their temporal indices by ``[MASKT]``) and the
+  model predicts the original roads with a cross-entropy loss;
+* **trajectory contrastive learning** — two augmented views of each
+  trajectory form a positive pair for the NT-Xent loss with in-batch
+  negatives.
+
+The total loss is ``lambda * L_mask + (1 - lambda) * L_con`` (Equation 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import BatchBuilder
+from repro.core.config import StartConfig
+from repro.core.model import STARTModel
+from repro.nn import AdamW, BatchIterator, WarmupCosineSchedule, clip_grad_norm, cross_entropy, nt_xent_loss
+from repro.core import tokens as tok
+from repro.trajectory.augmentation import TrajectoryAugmenter, historical_travel_times
+from repro.trajectory.types import Trajectory
+from repro.utils.logging import get_logger
+from repro.utils.seeding import get_rng
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class PretrainingHistory:
+    """Per-epoch averaged losses recorded during pre-training."""
+
+    total: list[float] = field(default_factory=list)
+    mask: list[float] = field(default_factory=list)
+    contrastive: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.total)
+
+
+class Pretrainer:
+    """Runs the two self-supervised tasks over a trajectory corpus."""
+
+    def __init__(
+        self,
+        model: STARTModel,
+        config: StartConfig | None = None,
+        augmenter: TrajectoryAugmenter | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or model.config
+        self._rng = get_rng(self.config.seed + 1)
+        self._augmenter = augmenter
+        self.builder: BatchBuilder = model.make_builder(rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    # Loss terms
+    # ------------------------------------------------------------------ #
+    def _mask_loss(self, trajectories: list[Trajectory]):
+        batch = self.builder.build(trajectories, span_mask=True)
+        sequence_output, _ = self.model(batch)
+        logits = self.model.mask_logits(sequence_output)
+        flat_logits = logits.reshape(batch.batch_size * batch.seq_len, self.model.num_roads)
+        flat_labels = batch.mask_labels.reshape(-1)
+        return cross_entropy(flat_logits, flat_labels, ignore_index=tok.IGNORE_LABEL)
+
+    def _contrastive_loss(self, trajectories: list[Trajectory]):
+        first_name, second_name = self.config.augmentations
+        first_views, second_views = [], []
+        for trajectory in trajectories:
+            first, second = self._augmenter.make_views(trajectory, first_name, second_name)
+            first_views.append(first)
+            second_views.append(second)
+        batch_a = self.builder.build_from_views(first_views)
+        batch_b = self.builder.build_from_views(second_views)
+        _, pooled_a = self.model(batch_a)
+        _, pooled_b = self.model(batch_b)
+        return nt_xent_loss(pooled_a, pooled_b, temperature=self.config.temperature)
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+    def pretrain(
+        self,
+        trajectories: list[Trajectory],
+        epochs: int | None = None,
+        verbose: bool = False,
+    ) -> PretrainingHistory:
+        """Pre-train the model in place and return the loss history."""
+        if len(trajectories) < 2:
+            raise ValueError("pre-training needs at least two trajectories")
+        config = self.config
+        epochs = epochs if epochs is not None else config.pretrain_epochs
+        if self._augmenter is None:
+            self._augmenter = TrajectoryAugmenter(
+                historical_travel_times(trajectories), rng=self._rng
+            )
+
+        optimizer = AdamW(
+            self.model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        batches_per_epoch = max(len(trajectories) // config.batch_size, 1)
+        schedule = WarmupCosineSchedule(
+            optimizer,
+            warmup_steps=max(config.warmup_epochs * batches_per_epoch, 1),
+            total_steps=max(epochs * batches_per_epoch, 2),
+        )
+        history = PretrainingHistory()
+        lambda_mask = config.loss_balance
+
+        self.model.train()
+        for epoch in range(epochs):
+            iterator = BatchIterator(
+                len(trajectories), config.batch_size, shuffle=True, drop_last=len(trajectories) >= 2 * config.batch_size, rng=self._rng
+            )
+            epoch_total, epoch_mask, epoch_con, steps = 0.0, 0.0, 0.0, 0
+            for indices in iterator:
+                chunk = [trajectories[i] for i in indices]
+                if len(chunk) < 2:
+                    continue
+                optimizer.zero_grad()
+                mask_value, con_value = 0.0, 0.0
+                if config.use_mask_loss and config.use_contrastive_loss:
+                    mask_loss = self._mask_loss(chunk)
+                    con_loss = self._contrastive_loss(chunk)
+                    loss = mask_loss * lambda_mask + con_loss * (1.0 - lambda_mask)
+                    mask_value, con_value = mask_loss.item(), con_loss.item()
+                elif config.use_mask_loss:
+                    loss = self._mask_loss(chunk)
+                    mask_value = loss.item()
+                else:
+                    loss = self._contrastive_loss(chunk)
+                    con_value = loss.item()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), config.gradient_clip)
+                schedule.step()
+                optimizer.step()
+                epoch_total += loss.item()
+                epoch_mask += mask_value
+                epoch_con += con_value
+                steps += 1
+            steps = max(steps, 1)
+            history.total.append(epoch_total / steps)
+            history.mask.append(epoch_mask / steps)
+            history.contrastive.append(epoch_con / steps)
+            if verbose:
+                logger.info(
+                    "pretrain epoch %d/%d: loss=%.4f (mask=%.4f, contrastive=%.4f)",
+                    epoch + 1,
+                    epochs,
+                    history.total[-1],
+                    history.mask[-1],
+                    history.contrastive[-1],
+                )
+        self.model.eval()
+        return history

@@ -1,0 +1,34 @@
+"""Trajectory Time Pattern Extraction module (Section III-B1).
+
+Two embedding tables capture the periodic regularities of urban traffic: a
+minute-of-day table (1..1440) for the daily cycle and a day-of-week table
+(1..7) for the weekly cycle.  Masked positions use the dedicated ``[MASKT]``
+ids and padded positions use id 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tokens import DAY_VOCAB, MINUTE_VOCAB
+from repro.nn import Embedding, Module, Tensor
+from repro.utils.seeding import get_rng
+
+
+class TimePatternEmbedding(Module):
+    """Sum of minute-of-day and day-of-week embeddings for each position."""
+
+    def __init__(self, d_model: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.minute_embedding = Embedding(MINUTE_VOCAB, d_model, padding_idx=0, rng=rng)
+        self.day_embedding = Embedding(DAY_VOCAB, d_model, padding_idx=0, rng=rng)
+        self.d_model = d_model
+
+    def forward(self, minute_indices: np.ndarray, day_indices: np.ndarray) -> Tensor:
+        """Embed ``(batch, seq)`` integer index arrays into ``(batch, seq, d)``."""
+        minute_indices = np.asarray(minute_indices, dtype=np.int64)
+        day_indices = np.asarray(day_indices, dtype=np.int64)
+        if minute_indices.shape != day_indices.shape:
+            raise ValueError("minute and day index arrays must have the same shape")
+        return self.minute_embedding(minute_indices) + self.day_embedding(day_indices)

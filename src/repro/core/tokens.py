@@ -1,0 +1,49 @@
+"""Token-id conventions shared by the trajectory encoders.
+
+Road ids from the road network are shifted by :data:`NUM_SPECIAL_TOKENS` so
+that the first ids are reserved for the special tokens the paper uses:
+
+* ``[PAD]`` — padding of short trajectories inside a batch;
+* ``[CLS]`` — the placeholder inserted at position 0 whose final hidden state
+  is the trajectory representation (Section III-B3);
+* ``[MASK]`` — the mask token of span-masked trajectory recovery.
+
+Temporal indices have their own specials: minute indices are 1..1440 and
+day-of-week indices 1..7 (both 1-based as in the paper), with 0 used for
+padding and a dedicated ``[MASKT]`` id appended after the valid range.
+"""
+
+from __future__ import annotations
+
+PAD_TOKEN = 0
+CLS_TOKEN = 1
+MASK_TOKEN = 2
+NUM_SPECIAL_TOKENS = 3
+
+#: Label id used for positions that do not contribute to the masked-recovery loss.
+IGNORE_LABEL = -100
+
+# Minute-of-day vocabulary: 0 = PAD, 1..1440 = minutes, 1441 = [MASKT].
+MINUTE_PAD = 0
+MINUTE_MASK = 1441
+MINUTE_VOCAB = 1442
+
+# Day-of-week vocabulary: 0 = PAD, 1..7 = Monday..Sunday, 8 = [MASKT].
+DAY_PAD = 0
+DAY_MASK = 8
+DAY_VOCAB = 9
+
+
+def road_to_token(road_id: int) -> int:
+    """Map a road id to its token id."""
+    return road_id + NUM_SPECIAL_TOKENS
+
+
+def token_to_road(token_id: int) -> int:
+    """Map a token id back to a road id (negative for special tokens)."""
+    return token_id - NUM_SPECIAL_TOKENS
+
+
+def vocabulary_size(num_roads: int) -> int:
+    """Size of the token vocabulary for a network with ``num_roads`` roads."""
+    return num_roads + NUM_SPECIAL_TOKENS

@@ -1,0 +1,192 @@
+"""Evaluation metrics for the three downstream tasks (Section IV-C3).
+
+* Travel time estimation: MAE, MAPE, RMSE.
+* Trajectory classification: Accuracy, F1, AUC (binary) and Micro-F1,
+  Macro-F1, Recall@k (multi-class).
+* Similarity search: Mean Rank, Hit Ratio@k and Precision@k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# Regression metrics
+# --------------------------------------------------------------------------- #
+def mean_absolute_error(truth: np.ndarray, predictions: np.ndarray) -> float:
+    truth, predictions = _check_same_shape(truth, predictions)
+    return float(np.abs(truth - predictions).mean())
+
+
+def mean_absolute_percentage_error(truth: np.ndarray, predictions: np.ndarray, eps: float = 1e-6) -> float:
+    """MAPE in percent, guarding against zero ground-truth values."""
+    truth, predictions = _check_same_shape(truth, predictions)
+    denominator = np.maximum(np.abs(truth), eps)
+    return float((np.abs(truth - predictions) / denominator).mean() * 100.0)
+
+
+def root_mean_squared_error(truth: np.ndarray, predictions: np.ndarray) -> float:
+    truth, predictions = _check_same_shape(truth, predictions)
+    return float(np.sqrt(((truth - predictions) ** 2).mean()))
+
+
+def regression_report(truth: np.ndarray, predictions: np.ndarray) -> dict[str, float]:
+    """MAE / MAPE / RMSE in one dictionary (the Table II row layout)."""
+    return {
+        "MAE": mean_absolute_error(truth, predictions),
+        "MAPE": mean_absolute_percentage_error(truth, predictions),
+        "RMSE": root_mean_squared_error(truth, predictions),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Classification metrics
+# --------------------------------------------------------------------------- #
+def accuracy(truth: np.ndarray, predictions: np.ndarray) -> float:
+    truth, predictions = _check_same_shape(truth, predictions)
+    if truth.size == 0:
+        return 0.0
+    return float((truth == predictions).mean())
+
+
+def _binary_prf(truth: np.ndarray, predictions: np.ndarray, positive: int = 1) -> tuple[float, float, float]:
+    tp = float(np.sum((predictions == positive) & (truth == positive)))
+    fp = float(np.sum((predictions == positive) & (truth != positive)))
+    fn = float(np.sum((predictions != positive) & (truth == positive)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return precision, recall, f1
+
+
+def f1_score(truth: np.ndarray, predictions: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 for the positive class."""
+    truth, predictions = _check_same_shape(truth, predictions)
+    return _binary_prf(truth, predictions, positive)[2]
+
+
+def roc_auc(truth: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (binary labels)."""
+    truth = np.asarray(truth)
+    scores = np.asarray(scores, dtype=np.float64)
+    positives = scores[truth == 1]
+    negatives = scores[truth == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    order = np.argsort(np.concatenate([negatives, positives]), kind="mergesort")
+    ranks = np.empty(len(order), dtype=np.float64)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks over ties.
+    merged = np.concatenate([negatives, positives])
+    sorted_scores = merged[order]
+    unique, inverse, counts = np.unique(sorted_scores, return_inverse=True, return_counts=True)
+    cumulative = np.cumsum(counts)
+    average_rank_of_value = cumulative - (counts - 1) / 2.0
+    ranks[order] = average_rank_of_value[inverse]
+    positive_ranks = ranks[len(negatives):]
+    auc = (positive_ranks.sum() - len(positives) * (len(positives) + 1) / 2.0) / (
+        len(positives) * len(negatives)
+    )
+    return float(auc)
+
+
+def micro_f1(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label classification)."""
+    return accuracy(truth, predictions)
+
+
+def macro_f1(truth: np.ndarray, predictions: np.ndarray, num_classes: int | None = None) -> float:
+    """Macro-averaged F1 over all classes present in the ground truth."""
+    truth, predictions = _check_same_shape(truth, predictions)
+    classes = range(num_classes) if num_classes is not None else np.unique(truth)
+    scores = [
+        _binary_prf((truth == c).astype(int), (predictions == c).astype(int))[2] for c in classes
+    ]
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def recall_at_k(truth: np.ndarray, probabilities: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is in the top-k predicted classes."""
+    truth = np.asarray(truth)
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be (N, num_classes)")
+    k = min(k, probabilities.shape[1])
+    top_k = np.argsort(-probabilities, axis=1)[:, :k]
+    hits = [truth[i] in top_k[i] for i in range(len(truth))]
+    return float(np.mean(hits)) if hits else 0.0
+
+
+def binary_classification_report(
+    truth: np.ndarray, predictions: np.ndarray, scores: np.ndarray
+) -> dict[str, float]:
+    """ACC / F1 / AUC (the binary-classification columns of Table II)."""
+    return {
+        "ACC": accuracy(truth, predictions),
+        "F1": f1_score(truth, predictions),
+        "AUC": roc_auc(truth, scores),
+    }
+
+
+def multiclass_classification_report(
+    truth: np.ndarray, predictions: np.ndarray, probabilities: np.ndarray, k: int = 5
+) -> dict[str, float]:
+    """Micro-F1 / Macro-F1 / Recall@k (the multi-class columns of Table II)."""
+    return {
+        "Micro-F1": micro_f1(truth, predictions),
+        "Macro-F1": macro_f1(truth, predictions),
+        f"Recall@{k}": recall_at_k(truth, probabilities, k=k),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Ranking / retrieval metrics
+# --------------------------------------------------------------------------- #
+def mean_rank(ranks: np.ndarray) -> float:
+    """Average 1-based rank of the ground-truth item."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return float(ranks.mean()) if ranks.size else 0.0
+
+
+def hit_ratio(ranks: np.ndarray, k: int) -> float:
+    """Fraction of queries whose ground truth appears in the top-k."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks <= k).mean())
+
+
+def ranking_report(ranks: np.ndarray) -> dict[str, float]:
+    """MR / HR@1 / HR@5 (the similarity-search columns of Table II)."""
+    return {
+        "MR": mean_rank(ranks),
+        "HR@1": hit_ratio(ranks, 1),
+        "HR@5": hit_ratio(ranks, 5),
+    }
+
+
+def precision_at_k(retrieved: np.ndarray, relevant: np.ndarray) -> float:
+    """Overlap between retrieved and relevant top-k sets, averaged over queries.
+
+    Both arrays are ``(num_queries, k)`` index matrices.
+    """
+    retrieved = np.asarray(retrieved)
+    relevant = np.asarray(relevant)
+    if retrieved.shape != relevant.shape:
+        raise ValueError("retrieved and relevant must have the same shape")
+    if retrieved.size == 0:
+        return 0.0
+    scores = [
+        len(set(retrieved[i]) & set(relevant[i])) / retrieved.shape[1]
+        for i in range(retrieved.shape[0])
+    ]
+    return float(np.mean(scores))
+
+
+def _check_same_shape(a, b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b

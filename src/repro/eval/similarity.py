@@ -1,0 +1,106 @@
+"""Similarity-search evaluation harness (most-similar and k-nearest search).
+
+Representation-based models compare trajectories by the Euclidean distance of
+their representation vectors (Section IV-D4); classical measures compare raw
+coordinate sequences.  Both are evaluated against the detour-based ground
+truth produced by :mod:`repro.trajectory.detour`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.classical import ClassicalSimilarity
+from repro.eval.metrics import precision_at_k, ranking_report
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.detour import SimilarityBenchmark
+from repro.trajectory.types import Trajectory
+
+
+def euclidean_distance_matrix(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """``(Q, D)`` pairwise Euclidean distances between representation vectors."""
+    queries = np.asarray(queries, dtype=np.float64)
+    database = np.asarray(database, dtype=np.float64)
+    q_norm = (queries**2).sum(axis=1)[:, None]
+    d_norm = (database**2).sum(axis=1)[None, :]
+    squared = np.maximum(q_norm + d_norm - 2.0 * queries @ database.T, 0.0)
+    return np.sqrt(squared)
+
+
+def ranks_of_ground_truth(distances: np.ndarray, ground_truth: dict[int, int]) -> np.ndarray:
+    """1-based rank of each query's ground-truth database item."""
+    ranks = []
+    for query_index, truth_index in ground_truth.items():
+        order = np.argsort(distances[query_index], kind="stable")
+        rank = int(np.where(order == truth_index)[0][0]) + 1
+        ranks.append(rank)
+    return np.array(ranks, dtype=np.int64)
+
+
+def most_similar_search_report(distances: np.ndarray, ground_truth: dict[int, int]) -> dict[str, float]:
+    """MR / HR@1 / HR@5 for the most-similar-trajectory search task."""
+    return ranking_report(ranks_of_ground_truth(distances, ground_truth))
+
+
+def evaluate_representation_search(
+    encode,
+    benchmark: SimilarityBenchmark,
+) -> dict[str, float]:
+    """Evaluate a representation model on the most-similar search task.
+
+    ``encode`` is any callable mapping a list of trajectories to ``(N, d)``
+    vectors (``STARTModel.encode`` and every baseline's ``encode`` qualify).
+    """
+    query_vectors = encode(benchmark.queries)
+    database_vectors = encode(benchmark.database)
+    distances = euclidean_distance_matrix(query_vectors, database_vectors)
+    return most_similar_search_report(distances, benchmark.ground_truth)
+
+
+def evaluate_classical_search(
+    network: RoadNetwork,
+    measure: str,
+    benchmark: SimilarityBenchmark,
+) -> dict[str, float]:
+    """Evaluate a classical pairwise measure on the most-similar search task."""
+    similarity = ClassicalSimilarity(network, measure)
+    distances = np.zeros((len(benchmark.queries), len(benchmark.database)))
+    for row, query in enumerate(benchmark.queries):
+        distances[row] = similarity.distances_to_database(query, benchmark.database)
+    return most_similar_search_report(distances, benchmark.ground_truth)
+
+
+def top_k_indices(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k smallest distances per row (ties broken stably)."""
+    k = min(k, distances.shape[1])
+    return np.argsort(distances, axis=1, kind="stable")[:, :k]
+
+
+def knearest_precision(
+    original_distances: np.ndarray,
+    detour_distances: np.ndarray,
+    k: int = 5,
+) -> float:
+    """Precision of k-nearest search under detour perturbation.
+
+    The ground truth for each query is its own k-nearest set computed from the
+    *original* trajectory; the prediction is the k-nearest set of the
+    *detoured* query.  Both distance matrices are ``(Q, D)``.
+    """
+    relevant = top_k_indices(original_distances, k)
+    retrieved = top_k_indices(detour_distances, k)
+    return precision_at_k(retrieved, relevant)
+
+
+def evaluate_representation_knearest(
+    encode,
+    original_queries: list[Trajectory],
+    detoured_queries: list[Trajectory],
+    database: list[Trajectory],
+    k: int = 5,
+) -> float:
+    """k-nearest precision for a representation model."""
+    database_vectors = encode(database)
+    original_distances = euclidean_distance_matrix(encode(original_queries), database_vectors)
+    detour_distances = euclidean_distance_matrix(encode(detoured_queries), database_vectors)
+    return knearest_precision(original_distances, detour_distances, k=k)

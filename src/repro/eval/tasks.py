@@ -1,0 +1,115 @@
+"""Downstream-task runners: the glue between models, datasets and metrics.
+
+Each runner fine-tunes (or directly evaluates) one model on one task and
+returns the metric dictionary used by the experiment tables.  The runners
+only rely on the shared encoder interface, so START and every learned
+baseline go through exactly the same code path — as in the paper, the only
+difference between rows of Table II is the encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import StartConfig
+from repro.core.finetuning import TravelTimeEstimator, TrajectoryClassifier
+from repro.eval.metrics import (
+    binary_classification_report,
+    multiclass_classification_report,
+    regression_report,
+)
+from repro.eval.similarity import evaluate_representation_search
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.detour import DetourConfig, build_similarity_benchmark
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class TaskSettings:
+    """Sizes and knobs of a downstream evaluation round."""
+
+    finetune_epochs: int = 3
+    num_queries: int = 20
+    num_negatives: int = 60
+    detour: DetourConfig | None = None
+    classification_k: int = 2  # Recall@k for the multi-class report
+
+
+def run_travel_time_task(
+    model,
+    dataset: TrajectoryDataset,
+    config: StartConfig,
+    settings: TaskSettings | None = None,
+    train_trajectories: list[Trajectory] | None = None,
+    test_trajectories: list[Trajectory] | None = None,
+) -> dict[str, float]:
+    """Fine-tune for ETA and report MAE / MAPE / RMSE on the test split."""
+    settings = settings or TaskSettings()
+    train = train_trajectories if train_trajectories is not None else dataset.train_trajectories()
+    test = test_trajectories if test_trajectories is not None else dataset.test_trajectories()
+    estimator = TravelTimeEstimator(model, config)
+    estimator.fit(train, epochs=settings.finetune_epochs)
+    predictions = estimator.predict(test)
+    truth = np.array([t.travel_time for t in test], dtype=np.float64)
+    return regression_report(truth, predictions)
+
+
+def run_classification_task(
+    model,
+    dataset: TrajectoryDataset,
+    config: StartConfig,
+    label_kind: str,
+    num_classes: int,
+    settings: TaskSettings | None = None,
+    train_trajectories: list[Trajectory] | None = None,
+    test_trajectories: list[Trajectory] | None = None,
+) -> dict[str, float]:
+    """Fine-tune for classification; binary or multi-class report by ``num_classes``."""
+    settings = settings or TaskSettings()
+    train = train_trajectories if train_trajectories is not None else dataset.train_trajectories()
+    test = test_trajectories if test_trajectories is not None else dataset.test_trajectories()
+    classifier = TrajectoryClassifier(model, num_classes=num_classes, label_kind=label_kind, config=config)
+    classifier.fit(train, epochs=settings.finetune_epochs)
+    probabilities = classifier.predict_proba(test)
+    predictions = probabilities.argmax(axis=1)
+    truth = classifier.labels_of(test)
+    if num_classes == 2:
+        return binary_classification_report(truth, predictions, probabilities[:, 1])
+    return multiclass_classification_report(
+        truth, predictions, probabilities, k=settings.classification_k
+    )
+
+
+def run_similarity_task(
+    model,
+    dataset: TrajectoryDataset,
+    settings: TaskSettings | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Most-similar search without fine-tuning (pre-trained representations only)."""
+    settings = settings or TaskSettings()
+    benchmark = build_similarity_benchmark(
+        dataset.network,
+        dataset.test_trajectories(),
+        num_queries=settings.num_queries,
+        num_negatives=settings.num_negatives,
+        config=settings.detour,
+        rng=get_rng(seed),
+    )
+    if not benchmark.queries:
+        raise RuntimeError("could not build any similarity queries; dataset too small")
+    return evaluate_representation_search(model.encode, benchmark)
+
+
+def number_of_classes(dataset: TrajectoryDataset, label_kind: str) -> int:
+    """How many classes the classification task has on this dataset."""
+    if label_kind == "occupied":
+        return 2
+    if label_kind == "driver":
+        return int(max(t.user_id for t in dataset.trajectories)) + 1
+    if label_kind == "mode":
+        return 4
+    raise ValueError(f"unknown label_kind '{label_kind}'")

@@ -1,0 +1,118 @@
+"""`repro.experiments` — runners that regenerate every table and figure.
+
+Each module maps to one artefact of the paper's evaluation section:
+
+=====================  ====================================================
+Module                 Paper artefact
+=====================  ====================================================
+``table1_datasets``    Table I (dataset statistics)
+``figure1_motivation`` Figure 1 (temporal regularities / travel semantics)
+``table2_overall``     Table II (overall comparison on three tasks)
+``table3_transfer``    Table III (cross-dataset transfer)
+``figure3_scenarios``  Figure 3 (MAPE by departure time and hop count)
+``figure4_knearest``   Figure 4 (k-nearest precision vs. detour proportion)
+``figure6_datasize``   Figure 6 (pre-training vs. training-set size)
+``figure7_ablation``   Figure 7 (ablation study)
+``figure8_augmentation`` Figure 8 (augmentation-pair grid)
+``figure9_sensitivity`` Figure 9 (parameter sensitivity)
+``figure10_efficiency`` Figure 10 (efficiency and scalability)
+=====================  ====================================================
+"""
+
+from repro.experiments.datasets import clear_caches, experiment_dataset, experiment_network
+from repro.experiments.model_zoo import (
+    ABLATION_VARIANTS,
+    TABLE2_MODELS,
+    ZooSettings,
+    build_and_pretrain,
+    build_start,
+    pretrained_model_zoo,
+)
+from repro.experiments.reporting import format_series, format_table, merge_reports
+from repro.experiments.table1_datasets import format_table1, run_table1
+from repro.experiments.figure1_motivation import format_figure1, run_figure1
+from repro.experiments.table2_overall import (
+    Table2Settings,
+    format_table2,
+    run_table2,
+    summarize_winners,
+)
+from repro.experiments.table3_transfer import Table3Settings, format_table3, run_table3
+from repro.experiments.figure3_scenarios import Figure3Settings, format_figure3, run_figure3
+from repro.experiments.figure4_knearest import Figure4Settings, format_figure4, run_figure4
+from repro.experiments.figure5_casestudy import (
+    Figure5Settings,
+    format_figure5,
+    run_figure5,
+    summarize_figure5,
+)
+from repro.experiments.figure6_datasize import Figure6Settings, format_figure6, run_figure6
+from repro.experiments.figure7_ablation import Figure7Settings, format_figure7, run_figure7
+from repro.experiments.figure8_augmentation import (
+    Figure8Settings,
+    best_pair,
+    format_figure8,
+    run_figure8,
+)
+from repro.experiments.figure9_sensitivity import Figure9Settings, format_figure9, run_figure9
+from repro.experiments.figure10_efficiency import (
+    Figure10Settings,
+    format_figure10,
+    run_figure10,
+    run_inference_timing,
+    run_similarity_scalability,
+)
+
+__all__ = [
+    "experiment_dataset",
+    "experiment_network",
+    "clear_caches",
+    "TABLE2_MODELS",
+    "ABLATION_VARIANTS",
+    "ZooSettings",
+    "build_start",
+    "build_and_pretrain",
+    "pretrained_model_zoo",
+    "format_table",
+    "format_series",
+    "merge_reports",
+    "run_table1",
+    "format_table1",
+    "run_figure1",
+    "format_figure1",
+    "Table2Settings",
+    "run_table2",
+    "format_table2",
+    "summarize_winners",
+    "Table3Settings",
+    "run_table3",
+    "format_table3",
+    "Figure3Settings",
+    "run_figure3",
+    "format_figure3",
+    "Figure4Settings",
+    "run_figure4",
+    "format_figure4",
+    "Figure5Settings",
+    "run_figure5",
+    "format_figure5",
+    "summarize_figure5",
+    "Figure6Settings",
+    "run_figure6",
+    "format_figure6",
+    "Figure7Settings",
+    "run_figure7",
+    "format_figure7",
+    "Figure8Settings",
+    "run_figure8",
+    "format_figure8",
+    "best_pair",
+    "Figure9Settings",
+    "run_figure9",
+    "format_figure9",
+    "Figure10Settings",
+    "run_figure10",
+    "run_inference_timing",
+    "run_similarity_scalability",
+    "format_figure10",
+]

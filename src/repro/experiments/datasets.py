@@ -1,0 +1,43 @@
+"""Shared dataset construction for the experiment runners.
+
+Experiments repeatedly need the synthetic-BJ / synthetic-Porto / synthetic-
+Geolife datasets at a given scale; this module builds them once per process
+and caches them, so a benchmark session that regenerates several figures does
+not pay the generation cost each time.
+"""
+
+from __future__ import annotations
+
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.presets import build_dataset, build_network
+
+_DATASET_CACHE: dict[tuple[str, float, int], TrajectoryDataset] = {}
+_NETWORK_CACHE: dict[str, RoadNetwork] = {}
+
+
+def experiment_network(name: str) -> RoadNetwork:
+    """Cached road network of a preset."""
+    if name not in _NETWORK_CACHE:
+        _NETWORK_CACHE[name] = build_network(name)
+    return _NETWORK_CACHE[name]
+
+
+def experiment_dataset(name: str, scale: float = 0.3, seed: int | None = None) -> TrajectoryDataset:
+    """Cached preset dataset at the requested scale.
+
+    The Geolife preset always reuses the synthetic-BJ network so that the
+    cross-dataset transfer experiment can exercise the "same road network,
+    different trajectory distribution" path the paper describes.
+    """
+    key = (name, scale, seed if seed is not None else -1)
+    if key not in _DATASET_CACHE:
+        network = experiment_network("synthetic-bj") if name == "synthetic-geolife" else experiment_network(name)
+        _DATASET_CACHE[key] = build_dataset(name, scale=scale, network=network, seed=seed)
+    return _DATASET_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop cached datasets/networks (used by tests that need isolation)."""
+    _DATASET_CACHE.clear()
+    _NETWORK_CACHE.clear()

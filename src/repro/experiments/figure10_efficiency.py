@@ -1,0 +1,136 @@
+"""Figure 10: model efficiency and scalability.
+
+Three panels are reproduced:
+
+* (a) representation-generation (inference) time as the number of trajectories
+  grows, for every learned model — self-attention models scale better than
+  RNNs because they need O(1) rather than O(L) sequential steps;
+* (b) average time of a most-similar-trajectory query as the query/database
+  sizes grow, comparing representation-based search (O(d) per comparison,
+  embeddings generated once) with classical pairwise measures (O(L^2) per
+  comparison);
+* (c) the search accuracy (mean rank) of the same methods, showing the deep
+  representations are not just faster but also more accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import CLASSICAL_MEASURES, ClassicalSimilarity
+from repro.core.config import StartConfig
+from repro.eval.similarity import (
+    euclidean_distance_matrix,
+    most_similar_search_report,
+)
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
+from repro.experiments.reporting import format_series
+from repro.trajectory.detour import DetourConfig, build_similarity_benchmark
+from repro.utils.seeding import get_rng
+from repro.utils.timer import Timer
+
+
+@dataclass
+class Figure10Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 1
+    encode_sizes: tuple[int, ...] = (20, 40, 80)
+    query_sizes: tuple[int, ...] = (5, 10, 20)
+    database_multiplier: int = 3
+    classical_measures: tuple[str, ...] = ("DTW", "LCSS", "Frechet", "EDR")
+    deep_models: tuple[str, ...] = ("Trembr", "Toast", "START")
+    inference_models: tuple[str, ...] = TABLE2_MODELS
+    config: StartConfig | None = None
+
+
+def run_inference_timing(dataset_name: str = "synthetic-porto", settings: Figure10Settings | None = None) -> dict:
+    """Panel (a): encoding wall-clock time vs. number of trajectories."""
+    settings = settings or Figure10Settings()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    pool = dataset.trajectories
+    sizes = [min(size, len(pool)) for size in settings.encode_sizes]
+    zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
+
+    result: dict = {"sizes": sizes, "seconds": {}}
+    for name, model, _ in pretrained_model_zoo(dataset, zoo_settings, names=settings.inference_models):
+        series = []
+        for size in sizes:
+            with Timer() as timer:
+                model.encode(pool[:size])
+            series.append(timer.elapsed)
+        result["seconds"][name] = series
+    return result
+
+
+def run_similarity_scalability(
+    dataset_name: str = "synthetic-porto", settings: Figure10Settings | None = None
+) -> dict:
+    """Panels (b) and (c): query time and mean rank vs. query/database size."""
+    settings = settings or Figure10Settings()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
+    deep_models = dict()
+    for name, model, _ in pretrained_model_zoo(dataset, zoo_settings, names=settings.deep_models):
+        deep_models[name] = model
+
+    result: dict = {"query_sizes": [], "query_time": {}, "mean_rank": {}}
+    for num_queries in settings.query_sizes:
+        benchmark = build_similarity_benchmark(
+            dataset.network,
+            dataset.test_trajectories() + dataset.validation_trajectories(),
+            num_queries=num_queries,
+            num_negatives=num_queries * settings.database_multiplier,
+            config=DetourConfig(),
+            rng=get_rng(5),
+        )
+        if len(benchmark.queries) < max(num_queries // 2, 2):
+            continue
+        result["query_sizes"].append(f"{len(benchmark.queries)}/{len(benchmark.database)}")
+
+        for name, model in deep_models.items():
+            with Timer() as timer:
+                query_vectors = model.encode(benchmark.queries)
+                database_vectors = model.encode(benchmark.database)
+                distances = euclidean_distance_matrix(query_vectors, database_vectors)
+            report = most_similar_search_report(distances, benchmark.ground_truth)
+            result["query_time"].setdefault(name, []).append(timer.elapsed / len(benchmark.queries))
+            result["mean_rank"].setdefault(name, []).append(report["MR"])
+
+        for measure in settings.classical_measures:
+            similarity = ClassicalSimilarity(dataset.network, measure)
+            with Timer() as timer:
+                distances = np.zeros((len(benchmark.queries), len(benchmark.database)))
+                for row, query in enumerate(benchmark.queries):
+                    distances[row] = similarity.distances_to_database(query, benchmark.database)
+            report = most_similar_search_report(distances, benchmark.ground_truth)
+            result["query_time"].setdefault(measure, []).append(timer.elapsed / len(benchmark.queries))
+            result["mean_rank"].setdefault(measure, []).append(report["MR"])
+    return result
+
+
+def run_figure10(dataset_name: str = "synthetic-porto", settings: Figure10Settings | None = None) -> dict:
+    """Run all three panels."""
+    settings = settings or Figure10Settings()
+    return {
+        "inference": run_inference_timing(dataset_name, settings),
+        "similarity": run_similarity_scalability(dataset_name, settings),
+    }
+
+
+def format_figure10(result: dict) -> str:
+    lines = ["Figure 10 — efficiency and scalability"]
+    inference = result["inference"]
+    lines.append("(a) representation generation time (seconds)")
+    for name, series in inference["seconds"].items():
+        lines.append("  " + format_series(name, inference["sizes"], series, "{:.3f}"))
+    similarity = result["similarity"]
+    lines.append("(b) average query time (seconds per query, query/database sizes on the x axis)")
+    for name, series in similarity["query_time"].items():
+        lines.append("  " + format_series(name, similarity["query_sizes"], series, "{:.4f}"))
+    lines.append("(c) mean rank of the ground truth")
+    for name, series in similarity["mean_rank"].items():
+        lines.append("  " + format_series(name, similarity["query_sizes"], series, "{:.2f}"))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Figure 3: travel-time MAPE under different scenarios on synthetic-BJ.
+
+The paper slices test-set MAPE by (a) departure hour on weekdays, (b)
+departure hour on weekends and (c) trajectory hop count, comparing START, a
+variant without the temporal modules and the best baseline (Trembr).  The
+reproduction computes the same three series for the same three models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import StartConfig, small_config
+from repro.core.finetuning import TravelTimeEstimator
+from repro.core.pretraining import Pretrainer
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import build_start
+from repro.experiments.reporting import format_series
+from repro.baselines import build_baseline
+from repro.eval.metrics import mean_absolute_percentage_error
+from repro.trajectory.types import hour_of_day, is_weekend
+
+
+@dataclass
+class Figure3Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 5
+    hour_buckets: tuple[tuple[int, int], ...] = ((0, 6), (6, 10), (10, 16), (16, 21), (21, 24))
+    hop_buckets: tuple[tuple[int, int], ...] = ((0, 10), (10, 20), (20, 40), (40, 128))
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def _fit_and_predict(model, config, dataset, epochs):
+    estimator = TravelTimeEstimator(model, config)
+    estimator.fit(dataset.train_trajectories(), epochs=epochs)
+    test = dataset.test_trajectories()
+    predictions = estimator.predict(test)
+    truth = np.array([t.travel_time for t in test])
+    return test, truth, predictions
+
+
+def _bucket_mape(test, truth, predictions, selector) -> float:
+    indices = [i for i, trajectory in enumerate(test) if selector(trajectory)]
+    if not indices:
+        return float("nan")
+    return mean_absolute_percentage_error(truth[indices], predictions[indices])
+
+
+def run_figure3(settings: Figure3Settings | None = None, dataset_name: str = "synthetic-bj") -> dict:
+    """Compute the Figure 3 MAPE series for START, w/o Temporal and Trembr."""
+    settings = settings or Figure3Settings()
+    config = settings.resolved_config()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+
+    models: dict[str, tuple] = {}
+
+    start = build_start(dataset, config)
+    Pretrainer(start, config).pretrain(dataset.train_trajectories(), epochs=settings.pretrain_epochs)
+    models["START"] = (start, config)
+
+    no_temporal_config = config.variant(use_time_embedding=False, use_time_interval=False)
+    no_temporal = build_start(dataset, no_temporal_config)
+    Pretrainer(no_temporal, no_temporal_config).pretrain(
+        dataset.train_trajectories(), epochs=settings.pretrain_epochs
+    )
+    models["w/o Temporal"] = (no_temporal, no_temporal_config)
+
+    trembr = build_baseline("Trembr", dataset.network, config)
+    trembr.pretrain(dataset.train_trajectories(), epochs=settings.pretrain_epochs)
+    models["Trembr"] = (trembr, config)
+
+    result: dict = {
+        "hour_buckets": [f"{lo:02d}-{hi:02d}" for lo, hi in settings.hour_buckets],
+        "hop_buckets": [f"{lo}-{hi}" for lo, hi in settings.hop_buckets],
+        "series": {},
+    }
+    for name, (model, model_config) in models.items():
+        test, truth, predictions = _fit_and_predict(model, model_config, dataset, settings.finetune_epochs)
+        weekday = [
+            _bucket_mape(
+                test,
+                truth,
+                predictions,
+                lambda t, lo=lo, hi=hi: not is_weekend(t.departure_time)
+                and lo <= hour_of_day(t.departure_time) < hi,
+            )
+            for lo, hi in settings.hour_buckets
+        ]
+        weekend = [
+            _bucket_mape(
+                test,
+                truth,
+                predictions,
+                lambda t, lo=lo, hi=hi: is_weekend(t.departure_time)
+                and lo <= hour_of_day(t.departure_time) < hi,
+            )
+            for lo, hi in settings.hour_buckets
+        ]
+        hops = [
+            _bucket_mape(test, truth, predictions, lambda t, lo=lo, hi=hi: lo <= t.hops < hi)
+            for lo, hi in settings.hop_buckets
+        ]
+        overall = mean_absolute_percentage_error(truth, predictions)
+        result["series"][name] = {
+            "weekday_by_hour": weekday,
+            "weekend_by_hour": weekend,
+            "by_hops": hops,
+            "overall": overall,
+        }
+    return result
+
+
+def format_figure3(result: dict) -> str:
+    lines = ["Figure 3 — MAPE (%) under different scenarios"]
+    for name, series in result["series"].items():
+        lines.append(f"[{name}] overall MAPE = {series['overall']:.2f}")
+        lines.append("  " + format_series("weekday by hour", result["hour_buckets"], series["weekday_by_hour"], "{:.1f}"))
+        lines.append("  " + format_series("weekend by hour", result["hour_buckets"], series["weekend_by_hour"], "{:.1f}"))
+        lines.append("  " + format_series("by trajectory hops", result["hop_buckets"], series["by_hops"], "{:.1f}"))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 4: k-nearest trajectory search precision vs. detour proportion.
+
+For each model, the ground truth of a query is its own top-k neighbour set in
+the database; the query is then replaced by a detour generated with selection
+proportion ``p_d`` and the retrieved top-k set is compared with the ground
+truth.  The paper varies ``p_d`` from 0.1 to 0.5 with k fixed at 5 and shows
+precision decreasing as ``p_d`` grows, with START staying on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.similarity import evaluate_representation_knearest
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
+from repro.experiments.reporting import format_series
+from repro.core.config import StartConfig
+from repro.trajectory.detour import DetourConfig, make_detour
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class Figure4Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 5
+    proportions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+    num_queries: int = 15
+    database_size: int = 60
+    k: int = 5
+    models: tuple[str, ...] = TABLE2_MODELS
+    config: StartConfig | None = None
+
+
+def _build_query_sets(dataset, settings: Figure4Settings) -> tuple[list, dict[float, list], list]:
+    """Queries, per-proportion detoured queries and the search database."""
+    rng = get_rng(11)
+    pool = dataset.test_trajectories()
+    database = pool[: settings.database_size]
+    queries: list = []
+    detours: dict[float, list] = {p: [] for p in settings.proportions}
+    for trajectory in pool:
+        candidate_detours = {}
+        for proportion in settings.proportions:
+            detour = make_detour(
+                dataset.network,
+                trajectory,
+                DetourConfig(selection_proportion=proportion),
+                rng=rng,
+            )
+            if detour is None:
+                break
+            candidate_detours[proportion] = detour
+        if len(candidate_detours) != len(settings.proportions):
+            continue
+        queries.append(trajectory)
+        for proportion, detour in candidate_detours.items():
+            detours[proportion].append(detour)
+        if len(queries) >= settings.num_queries:
+            break
+    return queries, detours, database
+
+
+def run_figure4(dataset_name: str = "synthetic-porto", settings: Figure4Settings | None = None) -> dict:
+    """Precision@k per model per detour proportion."""
+    settings = settings or Figure4Settings()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    queries, detours, database = _build_query_sets(dataset, settings)
+    if len(queries) < 3:
+        raise RuntimeError("could not build enough detour queries; increase the dataset scale")
+
+    zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
+    result: dict = {"proportions": list(settings.proportions), "precision": {}, "num_queries": len(queries)}
+    for name, model, _ in pretrained_model_zoo(dataset, zoo_settings, names=settings.models):
+        series = [
+            evaluate_representation_knearest(
+                model.encode, queries, detours[proportion], database, k=settings.k
+            )
+            for proportion in settings.proportions
+        ]
+        result["precision"][name] = series
+    return result
+
+
+def format_figure4(result: dict) -> str:
+    lines = [f"Figure 4 — Precision@5 of k-nearest search vs. detour proportion (n={result['num_queries']})"]
+    for name, series in result["precision"].items():
+        lines.append(format_series(name, result["proportions"], series))
+    return "\n".join(lines)

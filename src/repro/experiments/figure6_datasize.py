@@ -1,0 +1,90 @@
+"""Figure 6: effect of pre-training as the labelled training set shrinks.
+
+The paper varies the fine-tuning data size and compares START with and
+without self-supervised pre-training on travel time estimation and trajectory
+classification, showing that pre-training helps most when labels are scarce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import StartConfig, small_config
+from repro.core.pretraining import Pretrainer
+from repro.eval.tasks import TaskSettings, number_of_classes, run_classification_task, run_travel_time_task
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import build_start
+from repro.experiments.reporting import format_series
+from repro.trajectory.presets import label_of
+
+
+@dataclass
+class Figure6Settings:
+    scale: float = 0.4
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 5
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def run_figure6(dataset_name: str = "synthetic-bj", settings: Figure6Settings | None = None) -> dict:
+    """MAPE / classification quality vs. training-set size, with and without pre-training."""
+    settings = settings or Figure6Settings()
+    config = settings.resolved_config()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    label_kind = label_of(dataset_name)
+    num_classes = number_of_classes(dataset, label_kind)
+    classification_metric = "F1" if num_classes == 2 else "Macro-F1"
+    train_pool = dataset.train_trajectories()
+    task_settings = TaskSettings(finetune_epochs=settings.finetune_epochs, classification_k=min(5, num_classes))
+
+    result: dict = {
+        "train_sizes": [],
+        "eta_mape": {"Pre-train": [], "No Pre-train": []},
+        "classification": {"Pre-train": [], "No Pre-train": []},
+        "classification_metric": classification_metric,
+    }
+    for fraction in settings.fractions:
+        size = max(int(len(train_pool) * fraction), config.batch_size)
+        subset = train_pool[:size]
+        result["train_sizes"].append(size)
+        for variant in ("Pre-train", "No Pre-train"):
+            eta_model = build_start(dataset, config)
+            if variant == "Pre-train":
+                Pretrainer(eta_model, config).pretrain(subset, epochs=settings.pretrain_epochs)
+            eta_report = run_travel_time_task(
+                eta_model, dataset, config, task_settings, train_trajectories=subset
+            )
+            result["eta_mape"][variant].append(eta_report["MAPE"])
+
+            cls_model = build_start(dataset, config)
+            if variant == "Pre-train":
+                Pretrainer(cls_model, config).pretrain(subset, epochs=settings.pretrain_epochs)
+            cls_report = run_classification_task(
+                cls_model,
+                dataset,
+                config,
+                label_kind=label_kind,
+                num_classes=num_classes,
+                settings=task_settings,
+                train_trajectories=subset,
+            )
+            result["classification"][variant].append(cls_report[classification_metric])
+    return result
+
+
+def format_figure6(result: dict) -> str:
+    lines = ["Figure 6 — effect of pre-training vs. training-set size"]
+    for variant in ("Pre-train", "No Pre-train"):
+        lines.append(format_series(f"ETA MAPE ({variant})", result["train_sizes"], result["eta_mape"][variant], "{:.1f}"))
+    metric = result["classification_metric"]
+    for variant in ("Pre-train", "No Pre-train"):
+        lines.append(
+            format_series(f"{metric} ({variant})", result["train_sizes"], result["classification"][variant])
+        )
+    return "\n".join(lines)

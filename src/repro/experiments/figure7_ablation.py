@@ -1,0 +1,92 @@
+"""Figure 7: ablation study of every START sub-module.
+
+Eleven variants are trained and evaluated on travel time estimation (MAPE),
+trajectory classification (F1 / Macro-F1) and most-similar search (MR),
+matching the panels of Figure 7:
+
+* road-encoder ablations: ``w/o TPE-GAT``, ``w/ Node2vec``, ``w/o TransProb``;
+* temporal ablations: ``w/o Time Emb``, ``w/o Time Interval``, ``w/ Hop``,
+  ``w/o Log``, ``w/o Adaptive``;
+* self-supervised-task ablations: ``w/o Mask``, ``w/o Contra``;
+* the full model (``START``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import StartConfig, small_config
+from repro.core.pretraining import Pretrainer
+from repro.eval.tasks import (
+    TaskSettings,
+    number_of_classes,
+    run_classification_task,
+    run_similarity_task,
+    run_travel_time_task,
+)
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import ABLATION_VARIANTS, build_start
+from repro.experiments.reporting import format_table
+from repro.trajectory.presets import label_of
+
+
+@dataclass
+class Figure7Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 5
+    num_queries: int = 15
+    num_negatives: int = 45
+    variants: tuple[str, ...] = tuple(ABLATION_VARIANTS)
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def run_figure7(dataset_name: str = "synthetic-porto", settings: Figure7Settings | None = None) -> list[dict]:
+    """Train every ablation variant and report the three headline metrics."""
+    settings = settings or Figure7Settings()
+    config = settings.resolved_config()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    label_kind = label_of(dataset_name)
+    num_classes = number_of_classes(dataset, label_kind)
+    classification_metric = "F1" if num_classes == 2 else "Macro-F1"
+    task_settings = TaskSettings(
+        finetune_epochs=settings.finetune_epochs,
+        num_queries=settings.num_queries,
+        num_negatives=settings.num_negatives,
+        classification_k=min(5, num_classes),
+    )
+
+    rows: list[dict] = []
+    for variant in settings.variants:
+        overrides = ABLATION_VARIANTS[variant]
+        variant_config = config.variant(**overrides) if overrides else config
+        model = build_start(dataset, config, overrides=overrides)
+        Pretrainer(model, variant_config).pretrain(
+            dataset.train_trajectories(), epochs=settings.pretrain_epochs
+        )
+        eta = run_travel_time_task(model, dataset, variant_config, task_settings)
+        classification = run_classification_task(
+            model,
+            dataset,
+            variant_config,
+            label_kind=label_kind,
+            num_classes=num_classes,
+            settings=task_settings,
+        )
+        similarity = run_similarity_task(model, dataset, task_settings, seed=variant_config.seed)
+        rows.append(
+            {
+                "Variant": variant,
+                "MAPE": eta["MAPE"],
+                classification_metric: classification[classification_metric],
+                "MR": similarity["MR"],
+            }
+        )
+    return rows
+
+
+def format_figure7(rows: list[dict]) -> str:
+    return format_table(rows, title="Figure 7 — ablation study")

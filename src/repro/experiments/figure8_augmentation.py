@@ -1,0 +1,70 @@
+"""Figure 8: pairwise comparison of contrastive data augmentation strategies.
+
+The paper trains START with every pair of the four augmentation strategies
+(Trajectory Trimming, Temporal Shifting, Road Segments Mask, Dropout) and
+reports travel-time MAPE as a 4x4 grid; Temporal Shifting + Road Segments
+Mask works best because both perturb the temporal dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import StartConfig, small_config
+from repro.core.pretraining import Pretrainer
+from repro.eval.tasks import TaskSettings, run_travel_time_task
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import build_start
+from repro.experiments.reporting import format_table
+from repro.trajectory.augmentation import AUGMENTATION_NAMES
+
+
+@dataclass
+class Figure8Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 3
+    finetune_epochs: int = 4
+    augmentations: tuple[str, ...] = AUGMENTATION_NAMES
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def run_figure8(dataset_name: str = "synthetic-porto", settings: Figure8Settings | None = None) -> dict:
+    """Train START with every (unordered) augmentation pair; report ETA MAPE."""
+    settings = settings or Figure8Settings()
+    base_config = settings.resolved_config()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    task_settings = TaskSettings(finetune_epochs=settings.finetune_epochs)
+
+    names = list(settings.augmentations)
+    grid: dict[tuple[str, str], float] = {}
+    for i, first in enumerate(names):
+        for second in names[i:]:
+            config = base_config.variant(augmentations=(first, second))
+            model = build_start(dataset, config)
+            Pretrainer(model, config).pretrain(
+                dataset.train_trajectories(), epochs=settings.pretrain_epochs
+            )
+            report = run_travel_time_task(model, dataset, config, task_settings)
+            grid[(first, second)] = report["MAPE"]
+            grid[(second, first)] = report["MAPE"]
+    return {"augmentations": names, "mape_grid": grid}
+
+
+def format_figure8(result: dict) -> str:
+    names = result["augmentations"]
+    rows = []
+    for first in names:
+        row = {"augmentation": first}
+        for second in names:
+            row[second] = result["mape_grid"][(first, second)]
+        rows.append(row)
+    return format_table(rows, title="Figure 8 — ETA MAPE (%) per augmentation pair", float_format="{:.2f}")
+
+
+def best_pair(result: dict) -> tuple[str, str]:
+    """The augmentation pair with the lowest MAPE."""
+    grid = result["mape_grid"]
+    return min(grid, key=grid.get)

@@ -1,0 +1,86 @@
+"""Figure 9: parameter sensitivity (encoder depth, embedding size, batch size).
+
+The paper sweeps the TAT-Enc depth L2, the embedding size d and the batch
+size N_b and reports trajectory classification quality, observing an
+inverted-U shape: too small underfits, too large overfits (and very large
+contrastive batches introduce too many hard negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import StartConfig, small_config
+from repro.core.pretraining import Pretrainer
+from repro.eval.tasks import TaskSettings, number_of_classes, run_classification_task
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import build_start
+from repro.experiments.reporting import format_series
+from repro.trajectory.presets import label_of
+
+
+@dataclass
+class Figure9Settings:
+    scale: float = 0.3
+    pretrain_epochs: int = 3
+    finetune_epochs: int = 4
+    encoder_layers: tuple[int, ...] = (1, 2, 3)
+    embedding_sizes: tuple[int, ...] = (16, 32, 64)
+    batch_sizes: tuple[int, ...] = (8, 16, 32)
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def _evaluate(config: StartConfig, dataset, label_kind, num_classes, settings: Figure9Settings) -> float:
+    model = build_start(dataset, config)
+    Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=settings.pretrain_epochs)
+    metric = "F1" if num_classes == 2 else "Macro-F1"
+    report = run_classification_task(
+        model,
+        dataset,
+        config,
+        label_kind=label_kind,
+        num_classes=num_classes,
+        settings=TaskSettings(finetune_epochs=settings.finetune_epochs, classification_k=min(5, num_classes)),
+    )
+    return report[metric]
+
+
+def run_figure9(dataset_name: str = "synthetic-porto", settings: Figure9Settings | None = None) -> dict:
+    """Sweep L2, d and N_b; report the classification metric for each value."""
+    settings = settings or Figure9Settings()
+    base = settings.resolved_config()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    label_kind = label_of(dataset_name)
+    num_classes = number_of_classes(dataset, label_kind)
+
+    result: dict = {
+        "metric": "F1" if num_classes == 2 else "Macro-F1",
+        "encoder_layers": {"values": list(settings.encoder_layers), "scores": []},
+        "embedding_size": {"values": list(settings.embedding_sizes), "scores": []},
+        "batch_size": {"values": list(settings.batch_sizes), "scores": []},
+    }
+    for depth in settings.encoder_layers:
+        config = base.variant(encoder_layers=depth)
+        result["encoder_layers"]["scores"].append(_evaluate(config, dataset, label_kind, num_classes, settings))
+    for size in settings.embedding_sizes:
+        heads = base.encoder_heads if size % base.encoder_heads == 0 else 2
+        config = base.variant(d_model=size, encoder_heads=heads)
+        result["embedding_size"]["scores"].append(_evaluate(config, dataset, label_kind, num_classes, settings))
+    for batch in settings.batch_sizes:
+        config = base.variant(batch_size=batch)
+        result["batch_size"]["scores"].append(_evaluate(config, dataset, label_kind, num_classes, settings))
+    return result
+
+
+def format_figure9(result: dict) -> str:
+    lines = [f"Figure 9 — parameter sensitivity ({result['metric']})"]
+    for key, label in (
+        ("encoder_layers", "(a) depth of encoder layer"),
+        ("embedding_size", "(b) embedding size"),
+        ("batch_size", "(c) batch size"),
+    ):
+        lines.append(format_series(label, result[key]["values"], result[key]["scores"]))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Uniform construction and pre-training of START and every baseline.
+
+The Table II / Figure 4 / Figure 10 runners need "one of each model,
+pre-trained on the same corpus".  This module provides that loop in one
+place, together with the START ablation variants of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import BASELINE_NAMES, build_baseline, node2vec_embeddings, Node2VecConfig
+from repro.core.config import StartConfig, small_config
+from repro.core.model import STARTModel
+from repro.core.pretraining import Pretrainer
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.transfer import transfer_probability_matrix
+
+#: Row order of Table II: the eight baselines followed by START.
+TABLE2_MODELS = tuple(BASELINE_NAMES) + ("START",)
+
+#: The ablation variants of Figure 7, name -> StartConfig overrides.
+ABLATION_VARIANTS: dict[str, dict] = {
+    "w/o TPE-GAT": {"road_encoder": "random"},
+    "w/ Node2vec": {"road_encoder": "node2vec"},
+    "w/o TransProb": {"use_transfer_prob": False},
+    "w/o Time Emb": {"use_time_embedding": False},
+    "w/o Time Interval": {"use_time_interval": False},
+    "w/ Hop": {"interval_mode": "hop"},
+    "w/o Log": {"interval_decay": "inverse"},
+    "w/o Adaptive": {"adaptive_interval": False},
+    "w/o Mask": {"use_mask_loss": False},
+    "w/o Contra": {"use_contrastive_loss": False},
+    "START": {},
+}
+
+
+@dataclass
+class ZooSettings:
+    """How large/long the models in a sweep should be."""
+
+    config: StartConfig | None = None
+    pretrain_epochs: int = 5
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def build_start(
+    dataset: TrajectoryDataset,
+    config: StartConfig,
+    overrides: dict | None = None,
+) -> STARTModel:
+    """Build a START model (or one of its ablation variants) for a dataset."""
+    variant_config = config.variant(**overrides) if overrides else config
+    node2vec = None
+    if variant_config.road_encoder == "node2vec":
+        node2vec = node2vec_embeddings(
+            dataset.network,
+            Node2VecConfig(dimensions=variant_config.d_model, seed=variant_config.seed),
+        )
+    transfer = transfer_probability_matrix(dataset.network, dataset.train_trajectories())
+    return STARTModel(
+        dataset.network,
+        config=variant_config,
+        transfer_probability=transfer,
+        node2vec_embeddings=node2vec,
+    )
+
+
+def build_and_pretrain(
+    name: str,
+    dataset: TrajectoryDataset,
+    settings: ZooSettings,
+    node2vec_cache: dict[int, np.ndarray] | None = None,
+):
+    """Build model ``name`` ("START" or a baseline) and pre-train it."""
+    config = settings.resolved_config()
+    if name == "START":
+        model = build_start(dataset, config)
+        Pretrainer(model, config).pretrain(
+            dataset.train_trajectories(), epochs=settings.pretrain_epochs
+        )
+        return model, config
+    model = build_baseline(name, dataset.network, config, node2vec_cache=node2vec_cache)
+    model.pretrain(dataset.train_trajectories(), epochs=settings.pretrain_epochs)
+    return model, config
+
+
+def pretrained_model_zoo(
+    dataset: TrajectoryDataset,
+    settings: ZooSettings | None = None,
+    names: tuple[str, ...] = TABLE2_MODELS,
+):
+    """Yield ``(name, model, config)`` for each requested model, pre-trained."""
+    settings = settings or ZooSettings()
+    node2vec_cache: dict[int, np.ndarray] = {}
+    for name in names:
+        model, config = build_and_pretrain(name, dataset, settings, node2vec_cache)
+        yield name, model, config

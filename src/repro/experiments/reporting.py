@@ -1,0 +1,58 @@
+"""Plain-text table formatting for experiment results.
+
+Every experiment runner returns structured rows (lists of dictionaries); these
+helpers turn them into the aligned text tables printed by the benchmarks and
+examples, mirroring the row/column layout of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(r[i]) for r in rendered)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(width) for name, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable[object], ys: Iterable[float], float_format: str = "{:.3f}") -> str:
+    """Render an (x, y) series as one line per point (for figure data)."""
+    pairs = ", ".join(f"{x}: {float_format.format(float(y))}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def merge_reports(prefix_to_report: Mapping[str, Mapping[str, float]]) -> dict[str, float]:
+    """Flatten several metric dictionaries into one row with prefixed keys."""
+    merged: dict[str, float] = {}
+    for prefix, report in prefix_to_report.items():
+        for key, value in report.items():
+            merged[f"{prefix} {key}" if prefix else key] = value
+    return merged

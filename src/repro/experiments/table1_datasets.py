@@ -1,0 +1,36 @@
+"""Table I: statistics of the datasets after preprocessing.
+
+The paper reports time span, trajectory count, user count, road-segment count
+and the train/eval/test split sizes of BJ and Porto; this runner reports the
+same columns for the synthetic presets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.reporting import format_table
+
+
+def run_table1(scale: float = 0.3, datasets: tuple[str, ...] = ("synthetic-bj", "synthetic-porto")) -> list[dict]:
+    """Collect Table I statistics for the requested dataset presets."""
+    rows = []
+    for name in datasets:
+        dataset = experiment_dataset(name, scale=scale)
+        stats = dataset.statistics()
+        split = stats.pop("train/eval/test")
+        rows.append(
+            {
+                "Dataset": name,
+                "#Trajectory": stats["num_trajectories"],
+                "#Usr": stats["num_users"],
+                "#Road Segment": stats["num_roads"],
+                "#Covered Roads": stats["num_covered_roads"],
+                "Mean length": stats["mean_length"],
+                "train/eval/test": f"{split[0]}/{split[1]}/{split[2]}",
+            }
+        )
+    return rows
+
+
+def format_table1(rows: list[dict]) -> str:
+    return format_table(rows, title="Table I — dataset statistics after preprocessing")

@@ -1,0 +1,95 @@
+"""Table II: overall performance of START and all baselines on three tasks.
+
+For each model (eight baselines + START) and each dataset the runner reports:
+
+* travel time estimation — MAE, MAPE, RMSE;
+* trajectory classification — ACC/F1/AUC on synthetic-BJ (binary occupancy)
+  or Micro-F1/Macro-F1/Recall@k on synthetic-Porto (driver id);
+* most similar trajectory search — MR, HR@1, HR@5.
+
+Absolute values differ from the paper (synthetic data, small CPU models); the
+claim being reproduced is the *ordering*: START should lead on all three
+tasks, with Trembr the strongest baseline on travel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import StartConfig
+from repro.eval.tasks import (
+    TaskSettings,
+    number_of_classes,
+    run_classification_task,
+    run_similarity_task,
+    run_travel_time_task,
+)
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
+from repro.experiments.reporting import format_table, merge_reports
+from repro.trajectory.presets import label_of
+
+
+@dataclass
+class Table2Settings:
+    """Scale knobs for the Table II reproduction."""
+
+    scale: float = 0.3
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 5
+    num_queries: int = 20
+    num_negatives: int = 60
+    models: tuple[str, ...] = TABLE2_MODELS
+    config: StartConfig | None = None
+
+
+def run_table2(
+    dataset_name: str = "synthetic-porto", settings: Table2Settings | None = None
+) -> list[dict]:
+    """Run the full Table II comparison on one dataset."""
+    settings = settings or Table2Settings()
+    dataset = experiment_dataset(dataset_name, scale=settings.scale)
+    label_kind = label_of(dataset_name)
+    num_classes = number_of_classes(dataset, label_kind)
+    task_settings = TaskSettings(
+        finetune_epochs=settings.finetune_epochs,
+        num_queries=settings.num_queries,
+        num_negatives=settings.num_negatives,
+        classification_k=min(5, num_classes),
+    )
+    zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
+
+    rows: list[dict] = []
+    for name, model, config in pretrained_model_zoo(dataset, zoo_settings, names=settings.models):
+        eta = run_travel_time_task(model, dataset, config, task_settings)
+        classification = run_classification_task(
+            model, dataset, config, label_kind=label_kind, num_classes=num_classes, settings=task_settings
+        )
+        similarity = run_similarity_task(model, dataset, task_settings, seed=config.seed)
+        row = {"Model": name, "Dataset": dataset_name}
+        row.update(merge_reports({"ETA": eta, "CLS": classification, "SIM": similarity}))
+        rows.append(row)
+    return rows
+
+
+def format_table2(rows: list[dict]) -> str:
+    return format_table(rows, title="Table II — overall performance on three downstream tasks")
+
+
+def summarize_winners(rows: list[dict]) -> dict[str, str]:
+    """Which model wins each headline metric (used by EXPERIMENTS.md and tests)."""
+    if not rows:
+        return {}
+    winners: dict[str, str] = {}
+    lower_is_better = ("ETA MAE", "ETA MAPE", "ETA RMSE", "SIM MR")
+    higher_is_better = tuple(
+        key
+        for key in rows[0]
+        if key.startswith(("CLS", "SIM HR"))
+    )
+    for key in lower_is_better:
+        if key in rows[0]:
+            winners[key] = min(rows, key=lambda r: r[key])["Model"]
+    for key in higher_is_better:
+        winners[key] = max(rows, key=lambda r: r[key])["Model"]
+    return winners

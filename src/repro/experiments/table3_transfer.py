@@ -1,0 +1,141 @@
+"""Table III: transferring pre-trained models across datasets.
+
+The paper pre-trains on BJ or Porto and fine-tunes on the small Geolife
+dataset (travel time on car trips, transportation-mode classification on all
+trips), comparing against training on Geolife from scratch and against
+transferring Trembr.  The synthetic reproduction keeps the same structure:
+synthetic-Geolife shares synthetic-BJ's road network (homogeneous transfer)
+while synthetic-Porto has a different network (heterogeneous transfer, which
+exercises the road-network-independent TPE-GAT parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import build_baseline
+from repro.core.config import StartConfig, small_config
+from repro.core.model import STARTModel
+from repro.core.pretraining import Pretrainer
+from repro.eval.tasks import TaskSettings, number_of_classes, run_classification_task, run_travel_time_task
+from repro.experiments.datasets import experiment_dataset
+from repro.experiments.model_zoo import build_start
+from repro.experiments.reporting import format_table, merge_reports
+from repro.trajectory.transfer import transfer_probability_matrix
+
+
+@dataclass
+class Table3Settings:
+    scale: float = 0.3
+    geolife_scale: float = 0.4
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 5
+    config: StartConfig | None = None
+
+    def resolved_config(self) -> StartConfig:
+        return self.config if self.config is not None else small_config()
+
+
+def _start_for(dataset, config):
+    return build_start(dataset, config)
+
+
+def _evaluate_on_geolife(model, config, geolife, settings: Table3Settings) -> dict:
+    """Fine-tune a (possibly pre-trained) model on Geolife and report both tasks."""
+    task_settings = TaskSettings(finetune_epochs=settings.finetune_epochs, classification_k=2)
+    car_trips = [t for t in geolife.trajectories if t.mode == "car"]
+    car_train = [t for t in geolife.train_trajectories() if t.mode == "car"] or car_trips[: max(len(car_trips) // 2, 1)]
+    car_test = [t for t in geolife.test_trajectories() if t.mode == "car"] or car_trips[len(car_trips) // 2 :]
+    eta = run_travel_time_task(
+        model, geolife, config, task_settings, train_trajectories=car_train, test_trajectories=car_test
+    )
+    classification = run_classification_task(
+        model,
+        geolife,
+        config,
+        label_kind="mode",
+        num_classes=number_of_classes(geolife, "mode"),
+        settings=task_settings,
+    )
+    return merge_reports({"ETA": eta, "CLS": classification})
+
+
+def run_table3(settings: Table3Settings | None = None) -> list[dict]:
+    """Run the cross-dataset transfer comparison of Table III."""
+    settings = settings or Table3Settings()
+    config = settings.resolved_config()
+    geolife = experiment_dataset("synthetic-geolife", scale=settings.geolife_scale)
+    bj = experiment_dataset("synthetic-bj", scale=settings.scale)
+    porto = experiment_dataset("synthetic-porto", scale=settings.scale)
+
+    rows: list[dict] = []
+
+    # (1) START trained directly on Geolife, without and with pre-training.
+    no_pretrain = _start_for(geolife, config)
+    rows.append({"Model": "No Pre-train Geolife", **_evaluate_on_geolife(no_pretrain, config, geolife, settings)})
+
+    pretrain_geolife = _start_for(geolife, config)
+    Pretrainer(pretrain_geolife, config).pretrain(geolife.train_trajectories(), epochs=settings.pretrain_epochs)
+    rows.append({"Model": "Pre-train Geolife", **_evaluate_on_geolife(pretrain_geolife, config, geolife, settings)})
+
+    # (2) START pre-trained on the large datasets, transferred to Geolife.
+    for source_name, source in (("Porto", porto), ("BJ", bj)):
+        source_model = _start_for(source, config)
+        Pretrainer(source_model, config).pretrain(source.train_trajectories(), epochs=settings.pretrain_epochs)
+        transferred = _transfer_start(source_model, geolife, config)
+        rows.append(
+            {"Model": f"{source_name}-START", **_evaluate_on_geolife(transferred, config, geolife, settings)}
+        )
+
+    # (3) Trembr transferred the same way (sequence-to-sequence baseline).
+    for source_name, source in (("Porto", porto), ("BJ", bj)):
+        trembr = build_baseline("Trembr", source.network, config)
+        trembr.pretrain(source.train_trajectories(), epochs=settings.pretrain_epochs)
+        transferred_trembr = _transfer_trembr(trembr, geolife, config)
+        rows.append(
+            {
+                "Model": f"{source_name}-Trembr",
+                **_evaluate_on_geolife(transferred_trembr, config, geolife, settings),
+            }
+        )
+    return rows
+
+
+def _transfer_start(source_model: STARTModel, target_dataset, config: StartConfig) -> STARTModel:
+    """Move START's network-independent weights onto the target dataset.
+
+    The TPE-GAT parameters do not depend on the number of roads, so they (and
+    the whole TAT-Enc stack) transfer directly; only the mask head (sized by
+    the road vocabulary) is re-initialised when the road networks differ.
+    """
+    transfer = transfer_probability_matrix(target_dataset.network, target_dataset.train_trajectories())
+    target_model = STARTModel(target_dataset.network, config=config, transfer_probability=transfer)
+    source_state = source_model.state_dict()
+    target_state = target_model.state_dict()
+    compatible = {
+        key: value
+        for key, value in source_state.items()
+        if key in target_state and target_state[key].shape == value.shape
+    }
+    target_state.update(compatible)
+    target_model.load_state_dict(target_state)
+    return target_model
+
+
+def _transfer_trembr(source_model, target_dataset, config: StartConfig):
+    """Transfer Trembr by copying every shape-compatible parameter."""
+    target_model = build_baseline("Trembr", target_dataset.network, config)
+    source_state = source_model.state_dict()
+    target_state = target_model.state_dict()
+    compatible = {
+        key: value
+        for key, value in source_state.items()
+        if key in target_state and target_state[key].shape == value.shape
+    }
+    target_state.update(compatible)
+    target_model.load_state_dict(target_state)
+    return target_model
+
+
+def format_table3(rows: list[dict]) -> str:
+    return format_table(rows, title="Table III — transfer across datasets (fine-tuned on synthetic-Geolife)")

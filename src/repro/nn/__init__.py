@@ -1,0 +1,101 @@
+"""`repro.nn` — the NumPy autodiff / neural-network substrate.
+
+This package replaces PyTorch for the purposes of this reproduction.  It
+offers a small but complete toolkit: an autograd :class:`~repro.nn.tensor.Tensor`,
+modules and layers, attention and recurrent encoders, losses (including
+NT-Xent), optimizers with warm-up + cosine scheduling, checkpointing and
+mini-batching helpers.
+"""
+
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    embedding_lookup,
+    masked_fill,
+    no_grad,
+    stack,
+    where,
+)
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    PositionalEncoding,
+)
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.nn.rnn import GRU, LSTM, BiGRU, GRUCell, LSTMCell
+from repro.nn.loss import (
+    binary_cross_entropy_with_logits,
+    cosine_similarity_matrix,
+    cross_entropy,
+    info_nce_loss,
+    mae_loss,
+    mse_loss,
+    nt_xent_loss,
+)
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.nn.scheduler import (
+    ConstantSchedule,
+    Scheduler,
+    StepDecaySchedule,
+    WarmupCosineSchedule,
+)
+from repro.nn.serialization import load_checkpoint, load_state, save_checkpoint
+from repro.nn.data import BatchIterator, pad_float_sequences, pad_sequences
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "masked_fill",
+    "embedding_lookup",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "PositionalEncoding",
+    "FeedForward",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "GRUCell",
+    "LSTMCell",
+    "GRU",
+    "LSTM",
+    "BiGRU",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "mae_loss",
+    "nt_xent_loss",
+    "info_nce_loss",
+    "cosine_similarity_matrix",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "Scheduler",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "WarmupCosineSchedule",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_state",
+    "pad_sequences",
+    "pad_float_sequences",
+    "BatchIterator",
+]

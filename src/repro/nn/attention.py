@@ -1,0 +1,158 @@
+"""Multi-head self-attention with optional additive attention bias.
+
+The additive-bias hook is what the START model uses to inject its adaptive
+time-interval matrix (Equation 7 of the paper): the bias is added to the
+scaled dot-product scores *before* the softmax.  The same layer with a zero
+bias is the standard Transformer attention used by the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, FeedForward, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, masked_fill
+from repro.utils.seeding import get_rng
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention over ``(batch, seq, d_model)``."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} is not divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else get_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.query_proj = Linear(d_model, d_model, rng=rng)
+        self.key_proj = Linear(d_model, d_model, rng=rng)
+        self.value_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(batch, seq, d_model) -> (batch, heads, seq, d_head)."""
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_bias: Tensor | None = None,
+        key_padding_mask: np.ndarray | None = None,
+        return_weights: bool = False,
+    ):
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, seq, d_model)``.
+        attention_bias:
+            Optional tensor broadcastable to ``(batch, heads, seq, seq)`` added
+            to the attention scores before the softmax (the time-interval
+            matrix in START).
+        key_padding_mask:
+            Boolean ndarray ``(batch, seq)`` where ``True`` marks padding
+            positions that must not be attended to.
+        return_weights:
+            If True also return the attention weights (averaged over heads).
+        """
+        batch, seq, _ = x.shape
+        query = self._split_heads(self.query_proj(x), batch, seq)
+        key = self._split_heads(self.key_proj(x), batch, seq)
+        value = self._split_heads(self.value_proj(x), batch, seq)
+
+        scores = (query @ key.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if attention_bias is not None:
+            scores = scores + attention_bias
+        if key_padding_mask is not None:
+            mask = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+            mask = np.broadcast_to(mask, (batch, self.num_heads, seq, seq))
+            scores = masked_fill(scores, mask, _NEG_INF)
+
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ value
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        output = self.out_proj(context)
+        if return_weights:
+            return output, weights.mean(axis=1)
+        return output
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm Transformer encoder layer (attention + FFN, residuals)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_hidden: int | None = None,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        d_hidden = d_hidden if d_hidden is not None else 4 * d_model
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, d_hidden, dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_bias: Tensor | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        attended = self.attention(x, attention_bias=attention_bias, key_padding_mask=key_padding_mask)
+        x = self.norm1(x + self.dropout(attended))
+        transformed = self.feed_forward(x)
+        x = self.norm2(x + self.dropout(transformed))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer`."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        num_layers: int,
+        d_hidden: int | None = None,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        from repro.nn.module import ModuleList
+
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(d_model, num_heads, d_hidden, dropout, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_bias: Tensor | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_bias=attention_bias, key_padding_mask=key_padding_mask)
+        return x

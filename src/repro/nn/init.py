@@ -1,0 +1,54 @@
+"""Weight initialisation schemes used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import DEFAULT_DTYPE
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Fan-in/fan-out are taken from the trailing two dimensions, which matches
+    the convention used for linear layers and attention projections.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, nonlinearity: str = "relu") -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU-family activations."""
+    fan_in = shape[-2] if len(shape) >= 2 else shape[0]
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    limit = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-variance normal initialisation (used for embedding tables)."""
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, layer-norm shifts)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (layer-norm scales)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

@@ -1,0 +1,173 @@
+"""Core neural-network layers built on the autodiff tensor.
+
+These layers cover what the START model and all baselines need:
+``Linear``, ``Embedding`` (with padding index), ``LayerNorm``, ``Dropout``,
+``PositionalEncoding`` and a generic position-wise ``FeedForward`` block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor, embedding_lookup
+from repro.utils.seeding import get_rng
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    ``padding_idx`` rows are initialised to zero and keep receiving gradient
+    updates only through usage, mirroring how the paper's [PAD]/[MASK] tokens
+    behave in a standard implementation.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        padding_idx: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = init.normal((num_embeddings, embedding_dim), rng, std=0.02)
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.normalized_shape = normalized_shape
+        self.gamma = Parameter(init.ones((normalized_shape,)))
+        self.beta = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The paper additionally uses dropout *as a contrastive-learning data
+    augmentation* (SimCSE style); that use goes through the same layer with
+    ``training=True`` during view generation.
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else get_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(DEFAULT_DTYPE) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class PositionalEncoding(Module):
+    """Sinusoidal position encoding from the Transformer paper.
+
+    The table is precomputed up to ``max_len`` and stored as a buffer so it is
+    saved/restored with checkpoints but never trained.
+    """
+
+    def __init__(self, d_model: int, max_len: int = 512) -> None:
+        super().__init__()
+        position = np.arange(max_len, dtype=np.float64)[:, None]
+        div_term = np.exp(
+            np.arange(0, d_model, 2, dtype=np.float64) * (-np.log(10000.0) / d_model)
+        )
+        table = np.zeros((max_len, d_model), dtype=np.float64)
+        table[:, 0::2] = np.sin(position * div_term)
+        table[:, 1::2] = np.cos(position * div_term)
+        self.register_buffer("table", table.astype(DEFAULT_DTYPE))
+        self.d_model = d_model
+        self.max_len = max_len
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Add position encodings to a ``(batch, seq, d)`` tensor."""
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        return x + Tensor(self.table[:seq_len])
+
+    def encoding(self, seq_len: int) -> np.ndarray:
+        """Return the raw ``(seq_len, d_model)`` encoding matrix."""
+        return self.table[:seq_len]
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network: Linear -> ReLU -> Dropout -> Linear."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_hidden: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.linear1 = Linear(d_model, d_hidden, rng=rng)
+        self.linear2 = Linear(d_hidden, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear2(self.dropout(self.linear1(x).relu()))

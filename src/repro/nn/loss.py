@@ -1,0 +1,109 @@
+"""Loss functions: cross-entropy, MSE, and the NT-Xent contrastive loss.
+
+The NT-Xent implementation follows SimCLR / the paper's Equation (14): for a
+batch of ``N`` anchors and their ``N`` augmented views, every other sample in
+the ``2N``-sized batch acts as a negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concatenate, masked_fill
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: int | None = None
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Positions whose target equals ``ignore_index`` contribute nothing to the
+    loss (used for padded / unmasked positions in span-mask recovery).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, C), got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("logits and targets disagree on the batch dimension")
+
+    if ignore_index is not None:
+        valid = targets != ignore_index
+        if not valid.any():
+            return (logits * 0.0).sum()
+        logits = logits[np.where(valid)[0]]
+        targets = targets[valid]
+
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable BCE on raw logits; ``targets`` are 0/1 floats."""
+    targets = Tensor(np.asarray(targets, dtype=np.float32))
+    max_part = logits.relu()
+    return (max_part - logits * targets + (1.0 + (-logits.abs()).exp()).log()).mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    if not isinstance(targets, Tensor):
+        targets = Tensor(np.asarray(targets, dtype=np.float32))
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def mae_loss(predictions: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    """Mean absolute error (useful as a robust alternative for travel time)."""
+    if not isinstance(targets, Tensor):
+        targets = Tensor(np.asarray(targets, dtype=np.float32))
+    return (predictions - targets).abs().mean()
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """Pairwise cosine similarity between rows of ``a`` (N, d) and ``b`` (M, d)."""
+    a_norm = ((a * a).sum(axis=-1, keepdims=True) + eps).sqrt()
+    b_norm = ((b * b).sum(axis=-1, keepdims=True) + eps).sqrt()
+    return (a / a_norm) @ (b / b_norm).transpose()
+
+
+def nt_xent_loss(anchor: Tensor, positive: Tensor, temperature: float = 0.05) -> Tensor:
+    """Normalized temperature-scaled cross-entropy with in-batch negatives.
+
+    Parameters
+    ----------
+    anchor, positive:
+        ``(N, d)`` representations of the two augmented views of the same
+        ``N`` trajectories (row ``i`` of both tensors is a positive pair).
+    temperature:
+        The ``tau`` hyper-parameter from Equation (14); the paper uses 0.05.
+    """
+    if anchor.shape != positive.shape:
+        raise ValueError("anchor and positive must have the same shape")
+    batch = anchor.shape[0]
+    if batch < 2:
+        raise ValueError("NT-Xent needs at least two samples per batch")
+
+    merged = concatenate([anchor, positive], axis=0)  # (2N, d)
+    similarity = cosine_similarity_matrix(merged, merged) * (1.0 / temperature)
+    # Mask self-similarity on the diagonal so it never acts as a candidate.
+    diagonal = np.eye(2 * batch, dtype=bool)
+    similarity = masked_fill(similarity, diagonal, -1e9)
+
+    # Positive for row i is i+N (and for i+N it is i).
+    targets = np.concatenate([np.arange(batch) + batch, np.arange(batch)])
+    log_probs = similarity.log_softmax(axis=-1)
+    picked = log_probs[np.arange(2 * batch), targets]
+    return -picked.mean()
+
+
+def info_nce_loss(query: Tensor, keys: Tensor, positive_index: np.ndarray, temperature: float = 0.07) -> Tensor:
+    """InfoNCE against an explicit key set (used by the PIM baseline).
+
+    ``query`` is ``(N, d)``, ``keys`` is ``(M, d)`` and ``positive_index[i]``
+    names the row of ``keys`` that is the positive for query ``i``.
+    """
+    similarity = cosine_similarity_matrix(query, keys) * (1.0 / temperature)
+    log_probs = similarity.log_softmax(axis=-1)
+    picked = log_probs[np.arange(query.shape[0]), np.asarray(positive_index, dtype=np.int64)]
+    return -picked.mean()

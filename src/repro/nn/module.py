@@ -1,0 +1,188 @@
+"""Module/Parameter abstractions mirroring the familiar torch.nn API surface.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules, exposes
+``parameters()`` / ``named_parameters()`` for optimizers, ``train()`` /
+``eval()`` for dropout-style layers and ``state_dict()`` /
+``load_state_dict()`` for checkpointing and cross-dataset transfer
+(Table III of the paper relies on loading a pre-trained encoder into a new
+model instance).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable weight of a module."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Store a non-trainable array that should be saved with the model."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Modes and gradients
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for module_name, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{module_name}.{buf_name}" if module_name else buf_name
+                state[key] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {}
+        for module_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                key = f"{module_name}.{buf_name}" if module_name else buf_name
+                own_buffers[key] = (module, buf_name)
+
+        missing = [k for k in list(own_params) + list(own_buffers) if k not in state]
+        unexpected = [k for k in state if k not in own_params and k not in own_buffers]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for key, value in state.items():
+            if key in own_params:
+                param = own_params[key]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: model {param.data.shape} vs state {value.shape}"
+                    )
+                param.data = value.astype(param.data.dtype).copy()
+            elif key in own_buffers:
+                module, buf_name = own_buffers[key]
+                module.register_buffer(buf_name, value)
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of sub-modules registered in order."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Sequential(Module):
+    """Apply modules one after another."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.add_module(str(len(self._items)), module)
+            self._items.append(module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)

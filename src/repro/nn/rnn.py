@@ -1,0 +1,161 @@
+"""Recurrent layers (GRU and LSTM) used by the RNN-family baselines.
+
+traj2vec, t2vec, Trembr and PIM in the paper are built on RNN encoders or
+encoder-decoders; this module provides the cells and full-sequence wrappers
+they need, including packed-style handling of per-sequence lengths so padded
+positions do not contribute to the final hidden state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, concatenate, stack
+from repro.utils.seeding import get_rng
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
+        self.bias_ih = Parameter(init.zeros((3 * hidden_size,)))
+        self.bias_hh = Parameter(init.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One step: ``x`` is (batch, input), ``hidden`` is (batch, hidden)."""
+        gates_x = x @ self.weight_ih + self.bias_ih
+        gates_h = hidden @ self.weight_hh + self.bias_hh
+        h = self.hidden_size
+        reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
+        update = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h :] + reset * gates_h[:, 2 * h :]).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class LSTMCell(Module):
+    """A single long short-term memory step."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else get_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        self.bias_ih = Parameter(init.zeros((4 * hidden_size,)))
+        self.bias_hh = Parameter(init.zeros((4 * hidden_size,)))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step; ``state`` is ``(hidden, cell)``."""
+        hidden, cell = state
+        gates = x @ self.weight_ih + self.bias_ih + hidden @ self.weight_hh + self.bias_hh
+        h = self.hidden_size
+        input_gate = gates[:, :h].sigmoid()
+        forget_gate = gates[:, h : 2 * h].sigmoid()
+        cell_candidate = gates[:, 2 * h : 3 * h].tanh()
+        output_gate = gates[:, 3 * h :].sigmoid()
+        new_cell = forget_gate * cell + input_gate * cell_candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class GRU(Module):
+    """Full-sequence GRU returning all hidden states and the final state.
+
+    Sequences are processed as ``(batch, seq, input)``.  When ``lengths`` is
+    supplied, the "final" hidden state of each sequence is the state at its
+    true last step rather than at the padded end.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, lengths: np.ndarray | None = None, initial: Tensor | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        hidden = initial if initial is not None else Tensor.zeros((batch, self.hidden_size))
+        outputs: list[Tensor] = []
+        for step in range(seq_len):
+            hidden = self.cell(x[:, step, :], hidden)
+            outputs.append(hidden)
+        all_hidden = stack(outputs, axis=1)
+        if lengths is None:
+            return all_hidden, hidden
+        final = _gather_last(all_hidden, lengths)
+        return all_hidden, final
+
+
+class LSTM(Module):
+    """Full-sequence LSTM; the API mirrors :class:`GRU`."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, lengths: np.ndarray | None = None, initial: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        if initial is None:
+            hidden = Tensor.zeros((batch, self.hidden_size))
+            cell = Tensor.zeros((batch, self.hidden_size))
+        else:
+            hidden, cell = initial
+        outputs: list[Tensor] = []
+        for step in range(seq_len):
+            hidden, cell = self.cell(x[:, step, :], (hidden, cell))
+            outputs.append(hidden)
+        all_hidden = stack(outputs, axis=1)
+        if lengths is None:
+            return all_hidden, hidden
+        final = _gather_last(all_hidden, lengths)
+        return all_hidden, final
+
+
+def _gather_last(all_hidden: Tensor, lengths: np.ndarray) -> Tensor:
+    """Pick the hidden state at position ``length-1`` for each sequence."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    batch = all_hidden.shape[0]
+    rows = []
+    for index in range(batch):
+        last = max(int(lengths[index]) - 1, 0)
+        rows.append(all_hidden[index, last, :])
+    return stack(rows, axis=0)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; forward and backward outputs are concatenated."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.forward_rnn = GRU(input_size, hidden_size, rng=rng)
+        self.backward_rnn = GRU(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        forward_out, forward_final = self.forward_rnn(x, lengths)
+        reversed_x = Tensor(x.data[:, ::-1, :].copy(), requires_grad=False) if not x.requires_grad else _reverse_time(x)
+        backward_out, backward_final = self.backward_rnn(reversed_x, lengths)
+        backward_out = _reverse_time(backward_out)
+        outputs = concatenate([forward_out, backward_out], axis=-1)
+        final = concatenate([forward_final, backward_final], axis=-1)
+        return outputs, final
+
+
+def _reverse_time(x: Tensor) -> Tensor:
+    """Reverse a (batch, seq, d) tensor along the time axis, keeping gradients."""
+    seq_len = x.shape[1]
+    steps = [x[:, seq_len - 1 - i, :] for i in range(seq_len)]
+    return stack(steps, axis=1)

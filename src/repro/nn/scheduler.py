@@ -1,0 +1,77 @@
+"""Learning-rate schedules.
+
+START uses a linear warm-up over the first five epochs followed by cosine
+annealing; :class:`WarmupCosineSchedule` reproduces that behaviour.  Simpler
+schedules are included for baseline defaults and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base class: scales the optimizer's learning rate per epoch/step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_step = -1
+
+    def get_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one unit (epoch or iteration, caller's choice) and apply."""
+        self.last_step += 1
+        lr = self.get_lr(self.last_step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(Scheduler):
+    """Keep the base learning rate."""
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepDecaySchedule(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` units."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** (step // self.step_size))
+
+
+class WarmupCosineSchedule(Scheduler):
+    """Linear warm-up to ``base_lr`` then cosine annealing to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def get_lr(self, step: int) -> float:
+        if step < self.warmup_steps:
+            # Linear ramp from base_lr / warmup_steps up to base_lr.
+            return self.base_lr * (step + 1) / max(self.warmup_steps, 1)
+        progress = (step - self.warmup_steps) / max(self.total_steps - self.warmup_steps, 1)
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

@@ -1,0 +1,58 @@
+"""Checkpoint persistence for modules (``.npz`` state dicts).
+
+Keys inside a module state dict may contain dots, which ``numpy.savez`` is
+happy to round-trip, so the format is simply one array per parameter/buffer
+plus a small JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialize ``module.state_dict()`` (plus optional metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    arrays = dict(state)
+    meta = dict(metadata or {})
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    # np.savez appends .npz when missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> dict:
+    """Load a checkpoint produced by :func:`save_checkpoint` into ``module``.
+
+    Returns the metadata dictionary stored alongside the weights.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+        metadata: dict = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    module.load_state_dict(state, strict=strict)
+    return metadata
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Load the raw state dict from disk without needing a module instance."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files if key != _META_KEY}

@@ -1,0 +1,35 @@
+"""`repro.roadnet` — the road-network substrate.
+
+Provides Definition 1 of the paper (the directed road-segment graph with
+features and adjacency), a synthetic city generator that stands in for the
+OpenStreetMap extracts, shortest-path / k-shortest-path search, road feature
+matrices and CSV persistence.
+"""
+
+from repro.roadnet.network import ROAD_TYPES, RoadNetwork, RoadSegment
+from repro.roadnet.generator import CityConfig, generate_city, generate_city_pair
+from repro.roadnet.shortest_path import (
+    k_shortest_paths,
+    path_cost,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.roadnet.features import feature_dimension, road_feature_matrix
+from repro.roadnet.io import load_network, save_network
+
+__all__ = [
+    "ROAD_TYPES",
+    "RoadNetwork",
+    "RoadSegment",
+    "CityConfig",
+    "generate_city",
+    "generate_city_pair",
+    "shortest_path",
+    "shortest_path_length",
+    "k_shortest_paths",
+    "path_cost",
+    "road_feature_matrix",
+    "feature_dimension",
+    "load_network",
+    "save_network",
+]

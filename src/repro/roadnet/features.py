@@ -1,0 +1,42 @@
+"""Road feature matrix construction (the ``F_V`` input of TPE-GAT).
+
+The paper feeds six features per road segment into the first TPE-GAT layer:
+road type, length, number of lanes, maximum speed, in-degree and out-degree.
+Categorical road type is one-hot encoded; numeric features are z-normalised
+so the GAT does not have to cope with metre-scale magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.roadnet.network import ROAD_TYPES, RoadNetwork
+
+
+def road_feature_matrix(network: RoadNetwork, normalize: bool = True) -> np.ndarray:
+    """Build the ``(|V|, d_in)`` road feature matrix.
+
+    Layout: ``[one-hot road type | length | lanes | max_speed | in_deg | out_deg]``.
+    """
+    num_types = len(ROAD_TYPES)
+    type_index = {name: i for i, name in enumerate(ROAD_TYPES)}
+    features = np.zeros((network.num_roads, num_types + 5), dtype=np.float32)
+    for row, segment in enumerate(network.segments):
+        features[row, type_index.get(segment.road_type, num_types - 1)] = 1.0
+        features[row, num_types + 0] = segment.length
+        features[row, num_types + 1] = segment.lanes
+        features[row, num_types + 2] = segment.max_speed
+        features[row, num_types + 3] = network.in_degree(segment.road_id)
+        features[row, num_types + 4] = network.out_degree(segment.road_id)
+    if normalize:
+        numeric = features[:, num_types:]
+        mean = numeric.mean(axis=0, keepdims=True)
+        std = numeric.std(axis=0, keepdims=True)
+        std[std < 1e-6] = 1.0
+        features[:, num_types:] = (numeric - mean) / std
+    return features
+
+
+def feature_dimension() -> int:
+    """Dimensionality of the matrix produced by :func:`road_feature_matrix`."""
+    return len(ROAD_TYPES) + 5

@@ -1,0 +1,178 @@
+"""Synthetic city road-network generator.
+
+The paper builds its road networks from OpenStreetMap extracts of Beijing
+(38k segments) and Porto (11k segments).  Those extracts are not available
+offline, so this module synthesises city-like networks with the properties
+the model actually exploits:
+
+* a hierarchy of road classes (arterials are faster, longer, multi-lane;
+  residential streets are slow and short), giving informative road features;
+* a (mostly) planar grid with missing links and one-way streets, giving a
+  directed graph whose in/out degrees vary;
+* planar coordinates for every segment so GPS trajectories and classical
+  similarity measures (Fréchet, DTW, ...) have geometry to work with.
+
+The generated object is a plain :class:`~repro.roadnet.network.RoadNetwork`;
+nothing downstream knows whether the network came from OSM or the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.network import ROAD_TYPES, RoadNetwork, RoadSegment
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class CityConfig:
+    """Parameters of the synthetic city.
+
+    Attributes
+    ----------
+    grid_rows / grid_cols:
+        Number of intersection rows/columns in the underlying lattice.
+    block_length:
+        Distance in metres between adjacent intersections.
+    arterial_every:
+        Every ``arterial_every``-th row/column is an arterial (faster, wider).
+    drop_edge_probability:
+        Fraction of lattice links removed to break the perfect grid.
+    oneway_probability:
+        Fraction of remaining links that are one-way only.
+    jitter:
+        Standard deviation (metres) of positional noise added to
+        intersections, so blocks are not perfectly rectangular.
+    seed:
+        Seed for the generator's private RNG.
+    """
+
+    grid_rows: int = 12
+    grid_cols: int = 12
+    block_length: float = 200.0
+    arterial_every: int = 4
+    drop_edge_probability: float = 0.08
+    oneway_probability: float = 0.15
+    jitter: float = 15.0
+    seed: int = 0
+
+
+def _road_class(row_a: int, col_a: int, row_b: int, col_b: int, config: CityConfig) -> str:
+    """Classify a link by whether it lies on an arterial row/column."""
+    horizontal = row_a == row_b
+    if horizontal and row_a % config.arterial_every == 0:
+        return "primary" if row_a % (2 * config.arterial_every) == 0 else "secondary"
+    if not horizontal and col_a % config.arterial_every == 0:
+        return "primary" if col_a % (2 * config.arterial_every) == 0 else "secondary"
+    return "residential" if (row_a + col_a) % 3 else "tertiary"
+
+
+_TYPE_SPEED = {
+    "motorway": 100.0,
+    "trunk": 80.0,
+    "primary": 70.0,
+    "secondary": 60.0,
+    "tertiary": 50.0,
+    "residential": 30.0,
+}
+_TYPE_LANES = {
+    "motorway": 4,
+    "trunk": 3,
+    "primary": 3,
+    "secondary": 2,
+    "tertiary": 2,
+    "residential": 1,
+}
+
+
+def generate_city(config: CityConfig | None = None) -> RoadNetwork:
+    """Generate a synthetic city road network.
+
+    Intersections form a jittered lattice.  Each retained directed link
+    between adjacent intersections becomes one :class:`RoadSegment` (a vertex
+    of the road-segment graph), and two segments are connected by an edge when
+    the head intersection of the first equals the tail intersection of the
+    second — exactly the construction the paper applies to OSM data.
+    """
+    config = config or CityConfig()
+    rng = get_rng(config.seed)
+
+    # 1. Intersection coordinates.
+    coords: dict[tuple[int, int], tuple[float, float]] = {}
+    for row in range(config.grid_rows):
+        for col in range(config.grid_cols):
+            x = col * config.block_length + rng.normal(0.0, config.jitter)
+            y = row * config.block_length + rng.normal(0.0, config.jitter)
+            coords[(row, col)] = (float(x), float(y))
+
+    # 2. Undirected lattice links, some dropped.
+    links: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    for row in range(config.grid_rows):
+        for col in range(config.grid_cols):
+            if col + 1 < config.grid_cols:
+                links.append(((row, col), (row, col + 1)))
+            if row + 1 < config.grid_rows:
+                links.append(((row, col), (row + 1, col)))
+    keep_mask = rng.random(len(links)) >= config.drop_edge_probability
+    links = [link for link, keep in zip(links, keep_mask) if keep]
+
+    # 3. Directed road segments (vertices of the road graph).
+    segments: list[RoadSegment] = []
+    segment_by_move: dict[tuple[tuple[int, int], tuple[int, int]], int] = {}
+
+    def add_segment(tail: tuple[int, int], head: tuple[int, int]) -> None:
+        row_a, col_a = tail
+        row_b, col_b = head
+        road_type = _road_class(row_a, col_a, row_b, col_b, config)
+        road_id = len(segments)
+        speed_noise = float(rng.normal(0.0, 3.0))
+        segment = RoadSegment(
+            road_id=road_id,
+            start=coords[tail],
+            end=coords[head],
+            road_type=road_type,
+            lanes=_TYPE_LANES[road_type],
+            max_speed=max(_TYPE_SPEED[road_type] + speed_noise, 20.0),
+        )
+        segments.append(segment)
+        segment_by_move[(tail, head)] = road_id
+
+    for tail, head in links:
+        oneway = rng.random() < config.oneway_probability
+        add_segment(tail, head)
+        if not oneway:
+            add_segment(head, tail)
+
+    # 4. Road-to-road connectivity: segment u -> segment v when u ends where v starts.
+    outgoing_by_tail: dict[tuple[int, int], list[int]] = {}
+    for (tail, head), road_id in segment_by_move.items():
+        outgoing_by_tail.setdefault(tail, []).append(road_id)
+    move_by_segment = {road_id: move for move, road_id in segment_by_move.items()}
+    edges: list[tuple[int, int]] = []
+    for (tail, head), road_id in segment_by_move.items():
+        for next_id in outgoing_by_tail.get(head, []):
+            _, next_head = move_by_segment[next_id]
+            if next_head == tail and len(outgoing_by_tail.get(head, [])) > 1:
+                # Skip immediate U-turns when any alternative exists.
+                continue
+            edges.append((road_id, next_id))
+
+    return RoadNetwork(segments, edges)
+
+
+def generate_city_pair(seed: int = 0) -> tuple[RoadNetwork, RoadNetwork]:
+    """Generate the two differently-sized networks used as synthetic BJ / Porto.
+
+    Synthetic-BJ is larger and denser (Beijing has ~3.5x more segments than
+    Porto in the paper); synthetic-Porto is smaller with more one-way streets,
+    which matches the old-town street pattern of Porto.
+    """
+    bj = generate_city(
+        CityConfig(grid_rows=16, grid_cols=16, arterial_every=4, oneway_probability=0.10, seed=seed)
+    )
+    porto = generate_city(
+        CityConfig(grid_rows=10, grid_cols=10, arterial_every=5, oneway_probability=0.25, seed=seed + 1)
+    )
+    return bj, porto

@@ -1,0 +1,78 @@
+"""Persistence of road networks (the stand-in for OSM extracts).
+
+Networks are stored as two CSV files — ``segments.csv`` and ``edges.csv`` —
+inside a directory, mirroring the "download an OSM extract, convert to a
+segment graph" step of the paper's preprocessing pipeline.  The format is
+deliberately plain so networks can be inspected or edited by hand.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.roadnet.network import RoadNetwork, RoadSegment
+
+_SEGMENT_FIELDS = [
+    "road_id",
+    "start_x",
+    "start_y",
+    "end_x",
+    "end_y",
+    "road_type",
+    "length",
+    "lanes",
+    "max_speed",
+]
+
+
+def save_network(network: RoadNetwork, directory: str | Path) -> Path:
+    """Write ``segments.csv`` and ``edges.csv`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "segments.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SEGMENT_FIELDS)
+        for segment in network.segments:
+            writer.writerow(
+                [
+                    segment.road_id,
+                    f"{segment.start[0]:.3f}",
+                    f"{segment.start[1]:.3f}",
+                    f"{segment.end[0]:.3f}",
+                    f"{segment.end[1]:.3f}",
+                    segment.road_type,
+                    f"{segment.length:.3f}",
+                    segment.lanes,
+                    f"{segment.max_speed:.3f}",
+                ]
+            )
+    with open(directory / "edges.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "target"])
+        writer.writerows(network.edges)
+    return directory
+
+
+def load_network(directory: str | Path) -> RoadNetwork:
+    """Load a network previously written by :func:`save_network`."""
+    directory = Path(directory)
+    segments: list[RoadSegment] = []
+    with open(directory / "segments.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            segments.append(
+                RoadSegment(
+                    road_id=int(row["road_id"]),
+                    start=(float(row["start_x"]), float(row["start_y"])),
+                    end=(float(row["end_x"]), float(row["end_y"])),
+                    road_type=row["road_type"],
+                    length=float(row["length"]),
+                    lanes=int(row["lanes"]),
+                    max_speed=float(row["max_speed"]),
+                )
+            )
+    edges: list[tuple[int, int]] = []
+    with open(directory / "edges.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            edges.append((int(row["source"]), int(row["target"])))
+    return RoadNetwork(segments, edges)

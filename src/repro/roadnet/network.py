@@ -1,0 +1,182 @@
+"""The road network substrate: Definition 1 of the paper.
+
+A road network is a directed graph ``G = (V, E, F_V, A)`` whose *vertices are
+road segments*; an edge ``(v_i, v_j)`` exists when a vehicle can move from
+segment ``v_i`` directly onto ``v_j`` at an intersection.  Each segment
+carries the six features the paper uses as TPE-GAT input: road type, length,
+number of lanes, maximum speed, in-degree and out-degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Road classes used by the synthetic generator (subset of OSM highway types).
+ROAD_TYPES = ("motorway", "trunk", "primary", "secondary", "tertiary", "residential")
+
+
+@dataclass
+class RoadSegment:
+    """A single directed road segment (one vertex of the road network graph).
+
+    Attributes
+    ----------
+    road_id:
+        Integer id; ids are dense ``0..|V|-1``.
+    start / end:
+        Planar coordinates (metres in a local frame) of the segment endpoints.
+        Used for GPS simulation and for the classical similarity measures.
+    road_type:
+        One of :data:`ROAD_TYPES`.
+    length:
+        Segment length in metres.
+    lanes:
+        Number of lanes.
+    max_speed:
+        Free-flow speed limit in km/h.
+    """
+
+    road_id: int
+    start: tuple[float, float]
+    end: tuple[float, float]
+    road_type: str = "residential"
+    length: float = 0.0
+    lanes: int = 1
+    max_speed: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0:
+            self.length = float(
+                np.hypot(self.end[0] - self.start[0], self.end[1] - self.start[1])
+            )
+
+    @property
+    def midpoint(self) -> tuple[float, float]:
+        return (
+            (self.start[0] + self.end[0]) / 2.0,
+            (self.start[1] + self.end[1]) / 2.0,
+        )
+
+    def free_flow_travel_time(self) -> float:
+        """Seconds to traverse the segment at the speed limit."""
+        metres_per_second = max(self.max_speed, 1.0) / 3.6
+        return self.length / metres_per_second
+
+
+class RoadNetwork:
+    """Directed graph of road segments with adjacency and feature access.
+
+    The class intentionally keeps a plain adjacency-list representation plus
+    cached NumPy matrices so that both graph algorithms (Dijkstra, Yen) and
+    the TPE-GAT layer (sparse neighbour lists) can use it directly.
+    """
+
+    def __init__(self, segments: list[RoadSegment], edges: list[tuple[int, int]]) -> None:
+        self.segments = list(segments)
+        self._id_index = {seg.road_id: i for i, seg in enumerate(self.segments)}
+        if len(self._id_index) != len(self.segments):
+            raise ValueError("duplicate road ids in segment list")
+        self.edges: list[tuple[int, int]] = []
+        self._successors: dict[int, list[int]] = {seg.road_id: [] for seg in self.segments}
+        self._predecessors: dict[int, list[int]] = {seg.road_id: [] for seg in self.segments}
+        seen: set[tuple[int, int]] = set()
+        for source, target in edges:
+            if source not in self._id_index or target not in self._id_index:
+                raise ValueError(f"edge ({source}, {target}) references an unknown road id")
+            if (source, target) in seen or source == target:
+                continue
+            seen.add((source, target))
+            self.edges.append((source, target))
+            self._successors[source].append(target)
+            self._predecessors[target].append(source)
+
+    # ------------------------------------------------------------------ #
+    # Sizes and lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def num_roads(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def segment(self, road_id: int) -> RoadSegment:
+        return self.segments[self._id_index[road_id]]
+
+    def __contains__(self, road_id: int) -> bool:
+        return road_id in self._id_index
+
+    def successors(self, road_id: int) -> list[int]:
+        """Roads reachable directly from ``road_id``."""
+        return self._successors[road_id]
+
+    def predecessors(self, road_id: int) -> list[int]:
+        """Roads from which ``road_id`` is directly reachable."""
+        return self._predecessors[road_id]
+
+    def out_degree(self, road_id: int) -> int:
+        return len(self._successors[road_id])
+
+    def in_degree(self, road_id: int) -> int:
+        return len(self._predecessors[road_id])
+
+    def road_ids(self) -> list[int]:
+        return [seg.road_id for seg in self.segments]
+
+    # ------------------------------------------------------------------ #
+    # Matrix views
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> np.ndarray:
+        """Binary ``(|V|, |V|)`` adjacency matrix ``A``."""
+        matrix = np.zeros((self.num_roads, self.num_roads), dtype=np.float32)
+        for source, target in self.edges:
+            matrix[self._id_index[source], self._id_index[target]] = 1.0
+        return matrix
+
+    def edge_index(self) -> np.ndarray:
+        """``(2, num_edges)`` array of (source, target) road ids."""
+        if not self.edges:
+            return np.zeros((2, 0), dtype=np.int64)
+        return np.array(self.edges, dtype=np.int64).T
+
+    def lengths(self) -> np.ndarray:
+        return np.array([seg.length for seg in self.segments], dtype=np.float64)
+
+    def max_speeds(self) -> np.ndarray:
+        return np.array([seg.max_speed for seg in self.segments], dtype=np.float64)
+
+    def free_flow_travel_times(self) -> np.ndarray:
+        return np.array([seg.free_flow_travel_time() for seg in self.segments], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Validation and derived structures
+    # ------------------------------------------------------------------ #
+    def is_connected_pair(self, source: int, target: int) -> bool:
+        """Whether ``target`` directly follows ``source`` in the network."""
+        return target in self._successors.get(source, ())
+
+    def validate_path(self, path: list[int]) -> bool:
+        """Whether consecutive roads in ``path`` are connected in the graph."""
+        return all(self.is_connected_pair(a, b) for a, b in zip(path, path[1:]))
+
+    def subgraph(self, road_ids: set[int]) -> "RoadNetwork":
+        """Restrict the network to ``road_ids`` (used for ignoring uncovered roads)."""
+        segments = [seg for seg in self.segments if seg.road_id in road_ids]
+        edges = [(a, b) for a, b in self.edges if a in road_ids and b in road_ids]
+        return RoadNetwork(segments, edges)
+
+    def describe(self) -> dict:
+        """Summary statistics (used by the Table I reproduction)."""
+        lengths = self.lengths()
+        return {
+            "num_roads": self.num_roads,
+            "num_edges": self.num_edges,
+            "total_length_km": float(lengths.sum() / 1000.0),
+            "mean_length_m": float(lengths.mean()) if self.num_roads else 0.0,
+            "mean_out_degree": float(np.mean([self.out_degree(r) for r in self.road_ids()]))
+            if self.num_roads
+            else 0.0,
+        }

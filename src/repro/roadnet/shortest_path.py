@@ -1,0 +1,187 @@
+"""Shortest-path algorithms over the road-segment graph.
+
+Dijkstra supports either segment length or free-flow travel time as the edge
+weight (the weight of moving onto segment ``v`` is the cost of traversing
+``v``).  Yen's algorithm provides the top-k loopless paths needed by the
+paper's detour-based ground-truth generation for similarity search
+(Section IV-D4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+
+
+def _default_cost(network: RoadNetwork, weight: str) -> Callable[[int], float]:
+    if weight == "length":
+        return lambda road_id: network.segment(road_id).length
+    if weight == "time":
+        return lambda road_id: network.segment(road_id).free_flow_travel_time()
+    raise ValueError(f"unknown weight '{weight}', expected 'length' or 'time'")
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: str = "length",
+    banned_edges: set[tuple[int, int]] | None = None,
+    banned_roads: set[int] | None = None,
+) -> tuple[list[int], float]:
+    """Dijkstra over road segments from ``source`` to ``target``.
+
+    Returns the path as a list of road ids (including both endpoints) and its
+    cost; raises ``ValueError`` when no path exists.  ``banned_edges`` /
+    ``banned_roads`` support Yen's spur-path computation.
+    """
+    if source not in network or target not in network:
+        raise ValueError("source or target road id not in the network")
+    cost_of = _default_cost(network, weight)
+    banned_edges = banned_edges or set()
+    banned_roads = banned_roads or set()
+    if source in banned_roads:
+        raise ValueError("source road is banned")
+
+    distances: dict[int, float] = {source: cost_of(source)}
+    previous: dict[int, int] = {}
+    visited: set[int] = set()
+    queue: list[tuple[float, int]] = [(distances[source], source)]
+    while queue:
+        dist, road = heapq.heappop(queue)
+        if road in visited:
+            continue
+        visited.add(road)
+        if road == target:
+            break
+        for neighbor in network.successors(road):
+            if neighbor in banned_roads or (road, neighbor) in banned_edges:
+                continue
+            candidate = dist + cost_of(neighbor)
+            if candidate < distances.get(neighbor, np.inf):
+                distances[neighbor] = candidate
+                previous[neighbor] = road
+                heapq.heappush(queue, (candidate, neighbor))
+
+    if target not in visited:
+        raise ValueError(f"no path from road {source} to road {target}")
+
+    path = [target]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return path, distances[target]
+
+
+def shortest_path_length(network: RoadNetwork, source: int, target: int, weight: str = "length") -> float:
+    """Cost of the shortest path (convenience wrapper)."""
+    _, cost = shortest_path(network, source, target, weight=weight)
+    return cost
+
+
+def k_shortest_paths(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    k: int,
+    weight: str = "length",
+) -> list[tuple[list[int], float]]:
+    """Yen's algorithm: the ``k`` shortest loopless paths between two roads.
+
+    Used to construct detour trajectories: the top-k alternatives between a
+    sub-trajectory's origin and destination are candidate replacements.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    try:
+        best = shortest_path(network, source, target, weight=weight)
+    except ValueError:
+        return []
+    paths: list[tuple[list[int], float]] = [best]
+    candidates: list[tuple[float, list[int]]] = []
+    cost_of = _default_cost(network, weight)
+
+    while len(paths) < k:
+        last_path = paths[-1][0]
+        for spur_index in range(len(last_path) - 1):
+            spur_node = last_path[spur_index]
+            root_path = last_path[: spur_index + 1]
+            banned_edges: set[tuple[int, int]] = set()
+            for existing_path, _ in paths:
+                if existing_path[: spur_index + 1] == root_path and len(existing_path) > spur_index + 1:
+                    banned_edges.add((existing_path[spur_index], existing_path[spur_index + 1]))
+            banned_roads = set(root_path[:-1])
+            try:
+                spur_path, _ = shortest_path(
+                    network,
+                    spur_node,
+                    target,
+                    weight=weight,
+                    banned_edges=banned_edges,
+                    banned_roads=banned_roads,
+                )
+            except ValueError:
+                continue
+            total_path = root_path[:-1] + spur_path
+            total_cost = sum(cost_of(road) for road in total_path)
+            if all(total_path != c[1] for c in candidates) and all(
+                total_path != p[0] for p in paths
+            ):
+                heapq.heappush(candidates, (total_cost, total_path))
+        if not candidates:
+            break
+        cost, path = heapq.heappop(candidates)
+        paths.append((path, cost))
+    return paths
+
+
+def path_cost(network: RoadNetwork, path: list[int], weight: str = "length") -> float:
+    """Total cost of traversing every segment in ``path``."""
+    cost_of = _default_cost(network, weight)
+    return float(sum(cost_of(road) for road in path))
+
+
+def shortest_path_with_costs(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    costs: np.ndarray,
+) -> list[int] | None:
+    """Dijkstra with an arbitrary per-road cost vector.
+
+    ``costs[road_id]`` is the (positive) cost of traversing that road.  Used
+    by the trajectory generator for driver-specific perturbed route choice,
+    which is far cheaper than running Yen's algorithm per trip.  Returns
+    ``None`` when no path exists.
+    """
+    if source not in network or target not in network:
+        return None
+    costs = np.asarray(costs, dtype=np.float64)
+    distances: dict[int, float] = {source: float(costs[source])}
+    previous: dict[int, int] = {}
+    visited: set[int] = set()
+    queue: list[tuple[float, int]] = [(distances[source], source)]
+    while queue:
+        dist, road = heapq.heappop(queue)
+        if road in visited:
+            continue
+        visited.add(road)
+        if road == target:
+            break
+        for neighbor in network.successors(road):
+            candidate = dist + float(costs[neighbor])
+            if candidate < distances.get(neighbor, np.inf):
+                distances[neighbor] = candidate
+                previous[neighbor] = road
+                heapq.heappush(queue, (candidate, neighbor))
+    if target not in visited:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return path

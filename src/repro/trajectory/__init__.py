@@ -1,0 +1,91 @@
+"""`repro.trajectory` — the trajectory substrate.
+
+Trajectory datatypes, the congestion model, the synthetic trajectory
+generator, HMM map matching, dataset preprocessing/splitting, the transfer
+probability matrix, the four contrastive augmentations, the detour-based
+similarity ground truth and the dataset presets.
+"""
+
+from repro.trajectory.types import (
+    GPSPoint,
+    RawTrajectory,
+    Trajectory,
+    day_of_week,
+    hour_of_day,
+    is_weekend,
+    minute_of_day,
+    REFERENCE_EPOCH,
+)
+from repro.trajectory.congestion import CongestionModel
+from repro.trajectory.generator import (
+    DemandConfig,
+    GenerationResult,
+    MODE_SPEED_FACTOR,
+    TrajectoryGenerator,
+)
+from repro.trajectory.map_matching import HMMMapMatcher, MatchingConfig
+from repro.trajectory.dataset import DatasetSplit, PreprocessConfig, TrajectoryDataset
+from repro.trajectory.transfer import (
+    edge_transfer_probabilities,
+    transfer_probability_matrix,
+    visit_frequencies,
+)
+from repro.trajectory.augmentation import (
+    AUGMENTATION_NAMES,
+    AugmentedView,
+    TrajectoryAugmenter,
+    historical_travel_times,
+)
+from repro.trajectory.detour import (
+    DetourConfig,
+    SimilarityBenchmark,
+    build_similarity_benchmark,
+    make_detour,
+)
+from repro.trajectory.presets import (
+    PRESET_NAMES,
+    build_dataset,
+    build_network,
+    label_of,
+    preset_spec,
+)
+from repro.trajectory.io import load_dataset, save_dataset
+
+__all__ = [
+    "GPSPoint",
+    "RawTrajectory",
+    "Trajectory",
+    "REFERENCE_EPOCH",
+    "minute_of_day",
+    "day_of_week",
+    "hour_of_day",
+    "is_weekend",
+    "CongestionModel",
+    "DemandConfig",
+    "GenerationResult",
+    "MODE_SPEED_FACTOR",
+    "TrajectoryGenerator",
+    "HMMMapMatcher",
+    "MatchingConfig",
+    "TrajectoryDataset",
+    "DatasetSplit",
+    "PreprocessConfig",
+    "transfer_probability_matrix",
+    "edge_transfer_probabilities",
+    "visit_frequencies",
+    "AUGMENTATION_NAMES",
+    "AugmentedView",
+    "TrajectoryAugmenter",
+    "historical_travel_times",
+    "DetourConfig",
+    "SimilarityBenchmark",
+    "build_similarity_benchmark",
+    "make_detour",
+    "PRESET_NAMES",
+    "build_dataset",
+    "build_network",
+    "label_of",
+    "preset_spec",
+    "load_dataset",
+    "save_dataset",
+]

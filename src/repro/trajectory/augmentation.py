@@ -1,0 +1,157 @@
+"""Trajectory data augmentation strategies for contrastive learning.
+
+Section III-C2 of the paper defines four view-generation strategies:
+
+* **Trajectory Trimming** — drop a 5-15% chunk from the origin or the
+  destination (close ODs keep the travel semantics intact);
+* **Temporal Shifting** — perturb the visit times of a random 15% of roads
+  towards the road's historical average travel time
+  (``t_aug = t_cur - (t_cur - t_his) * r3`` with ``r3`` in 0.15-0.30);
+* **Road Segments Mask** — replace a random subset of roads (and their
+  temporal indices) with the [MASK] token, i.e. treat them as missing values;
+* **Dropout** — apply embedding-level dropout as in SimCSE; the trajectory
+  itself is unchanged and the randomness happens inside the encoder.
+
+Each strategy returns an :class:`AugmentedView`, which carries the (possibly
+modified) road/timestamp sequences plus a boolean mask of positions to be
+replaced by [MASK] inside the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+AUGMENTATION_NAMES = ("trim", "shift", "mask", "dropout")
+
+
+@dataclass
+class AugmentedView:
+    """One contrastive view of a trajectory."""
+
+    roads: list[int]
+    timestamps: list[float]
+    mask_positions: list[int] = field(default_factory=list)
+    use_embedding_dropout: bool = False
+
+    def __len__(self) -> int:
+        return len(self.roads)
+
+
+class TrajectoryAugmenter:
+    """Applies the paper's four augmentation strategies."""
+
+    def __init__(
+        self,
+        historical_travel_time: dict[int, float] | None = None,
+        rng: np.random.Generator | None = None,
+        trim_ratio: tuple[float, float] = (0.05, 0.15),
+        shift_road_fraction: float = 0.15,
+        shift_ratio: tuple[float, float] = (0.15, 0.30),
+        mask_fraction: float = 0.15,
+    ) -> None:
+        self.historical_travel_time = historical_travel_time or {}
+        self._rng = rng if rng is not None else get_rng()
+        self.trim_ratio = trim_ratio
+        self.shift_road_fraction = shift_road_fraction
+        self.shift_ratio = shift_ratio
+        self.mask_fraction = mask_fraction
+
+    # ------------------------------------------------------------------ #
+    # Individual strategies
+    # ------------------------------------------------------------------ #
+    def trim(self, trajectory: Trajectory) -> AugmentedView:
+        """Remove a contiguous chunk at the origin or the destination."""
+        length = len(trajectory)
+        ratio = float(self._rng.uniform(*self.trim_ratio))
+        drop = max(int(round(length * ratio)), 1)
+        drop = min(drop, length - 2)  # keep at least two roads
+        if drop <= 0:
+            return AugmentedView(list(trajectory.roads), list(trajectory.timestamps))
+        if self._rng.random() < 0.5:
+            roads = trajectory.roads[drop:]
+            times = trajectory.timestamps[drop:]
+        else:
+            roads = trajectory.roads[:-drop]
+            times = trajectory.timestamps[:-drop]
+        return AugmentedView(list(roads), list(times))
+
+    def temporal_shift(self, trajectory: Trajectory) -> AugmentedView:
+        """Move a random subset of visit times towards the historical average."""
+        roads = list(trajectory.roads)
+        times = np.asarray(trajectory.timestamps, dtype=np.float64).copy()
+        length = len(roads)
+        if length < 2:
+            return AugmentedView(roads, times.tolist())
+        count = max(int(round(length * self.shift_road_fraction)), 1)
+        # The departure time (position 0) is never perturbed.
+        chosen = 1 + self._rng.choice(length - 1, size=min(count, length - 1), replace=False)
+        for index in chosen:
+            road = roads[index]
+            current_travel = times[index] - times[index - 1]
+            historical = self.historical_travel_time.get(road, current_travel)
+            ratio = float(self._rng.uniform(*self.shift_ratio))
+            adjusted = current_travel - (current_travel - historical) * ratio
+            delta = adjusted - current_travel
+            times[index:] += delta  # shifting one visit shifts everything after it
+        return AugmentedView(roads, times.tolist())
+
+    def road_mask(self, trajectory: Trajectory) -> AugmentedView:
+        """Mark a random subset of positions to be replaced by [MASK]."""
+        length = len(trajectory)
+        count = max(int(round(length * self.mask_fraction)), 1)
+        chosen = sorted(
+            int(i) for i in self._rng.choice(length, size=min(count, length), replace=False)
+        )
+        return AugmentedView(
+            list(trajectory.roads), list(trajectory.timestamps), mask_positions=chosen
+        )
+
+    def dropout(self, trajectory: Trajectory) -> AugmentedView:
+        """SimCSE-style view: identical input, dropout noise inside the encoder."""
+        return AugmentedView(
+            list(trajectory.roads), list(trajectory.timestamps), use_embedding_dropout=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def apply(self, trajectory: Trajectory, name: str) -> AugmentedView:
+        """Apply the augmentation called ``name`` (one of AUGMENTATION_NAMES)."""
+        if name == "trim":
+            return self.trim(trajectory)
+        if name == "shift":
+            return self.temporal_shift(trajectory)
+        if name == "mask":
+            return self.road_mask(trajectory)
+        if name == "dropout":
+            return self.dropout(trajectory)
+        raise ValueError(f"unknown augmentation '{name}', expected one of {AUGMENTATION_NAMES}")
+
+    def make_views(
+        self, trajectory: Trajectory, first: str = "trim", second: str = "shift"
+    ) -> tuple[AugmentedView, AugmentedView]:
+        """Produce the two views of a trajectory used as a positive pair."""
+        return self.apply(trajectory, first), self.apply(trajectory, second)
+
+
+def historical_travel_times(trajectories: list[Trajectory]) -> dict[int, float]:
+    """Per-road historical average travel time estimated from trajectories.
+
+    The travel time attributed to road ``v_i`` is the interval between its
+    visit time and the previous road's visit time.
+    """
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for trajectory in trajectories:
+        times = trajectory.timestamps
+        for position in range(1, len(trajectory)):
+            road = trajectory.roads[position]
+            delta = times[position] - times[position - 1]
+            sums[road] = sums.get(road, 0.0) + delta
+            counts[road] = counts.get(road, 0) + 1
+    return {road: sums[road] / counts[road] for road in sums}

@@ -1,0 +1,105 @@
+"""Time-of-day congestion model.
+
+Figure 1(b) of the paper motivates START with the periodic pattern of urban
+traffic: trajectory volume (and therefore congestion and travel time) peaks in
+the morning and evening rush hours and differs between weekdays and weekends.
+This module encodes that regularity as a deterministic-plus-noise speed
+multiplier used both when *generating* trajectories and when computing
+*historical average travel times* (needed by the Temporal Shifting
+augmentation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import hour_of_day, is_weekend
+
+
+class CongestionModel:
+    """Maps (road, timestamp) to an expected speed factor and travel time.
+
+    The speed factor is ``1.0`` in free flow and drops towards
+    ``1 - peak_slowdown`` at the heart of the rush hours.  Major roads are
+    affected more than residential streets (they carry the through traffic).
+    """
+
+    #: Gaussian bumps (hour, width, weight) describing weekday congestion.
+    _WEEKDAY_PEAKS = ((8.0, 1.5, 1.0), (18.0, 2.0, 1.0), (12.5, 1.0, 0.3))
+    #: Weekend congestion: a single broad midday bump.
+    _WEEKEND_PEAKS = ((14.0, 3.0, 0.6),)
+
+    _TYPE_SENSITIVITY = {
+        "motorway": 1.0,
+        "trunk": 1.0,
+        "primary": 1.0,
+        "secondary": 0.85,
+        "tertiary": 0.7,
+        "residential": 0.5,
+    }
+
+    def __init__(self, network: RoadNetwork, peak_slowdown: float = 0.55, noise_std: float = 0.05) -> None:
+        if not 0.0 <= peak_slowdown < 1.0:
+            raise ValueError("peak_slowdown must be in [0, 1)")
+        self.network = network
+        self.peak_slowdown = peak_slowdown
+        self.noise_std = noise_std
+
+    # ------------------------------------------------------------------ #
+    # Deterministic profile
+    # ------------------------------------------------------------------ #
+    def congestion_level(self, timestamp: float) -> float:
+        """Return the city-wide congestion level in [0, 1] at ``timestamp``."""
+        hour = (int(timestamp) % 86400) / 3600.0
+        peaks = self._WEEKEND_PEAKS if is_weekend(timestamp) else self._WEEKDAY_PEAKS
+        level = 0.0
+        for centre, width, weight in peaks:
+            level += weight * np.exp(-0.5 * ((hour - centre) / width) ** 2)
+        return float(min(level, 1.0))
+
+    def speed_factor(self, road_id: int, timestamp: float, rng: np.random.Generator | None = None) -> float:
+        """Multiplier applied to the free-flow speed of ``road_id`` at ``timestamp``."""
+        segment = self.network.segment(road_id)
+        sensitivity = self._TYPE_SENSITIVITY.get(segment.road_type, 0.7)
+        level = self.congestion_level(timestamp)
+        factor = 1.0 - self.peak_slowdown * sensitivity * level
+        if rng is not None and self.noise_std > 0:
+            factor *= float(np.exp(rng.normal(0.0, self.noise_std)))
+        return float(np.clip(factor, 0.15, 1.2))
+
+    # ------------------------------------------------------------------ #
+    # Travel times
+    # ------------------------------------------------------------------ #
+    def travel_time(self, road_id: int, timestamp: float, rng: np.random.Generator | None = None) -> float:
+        """Seconds needed to traverse ``road_id`` when entering at ``timestamp``."""
+        segment = self.network.segment(road_id)
+        factor = self.speed_factor(road_id, timestamp, rng=rng)
+        metres_per_second = max(segment.max_speed * factor, 2.0) / 3.6
+        return segment.length / metres_per_second
+
+    def historical_average_travel_time(self, road_id: int) -> float:
+        """Average travel time of ``road_id`` over a synthetic week.
+
+        This is the ``t_his`` quantity used by the Temporal Shifting
+        augmentation (Section III-C2 of the paper).
+        """
+        from repro.trajectory.types import REFERENCE_EPOCH
+
+        hours = np.arange(0, 24, 0.5)
+        samples = []
+        for day_offset in range(7):
+            base = REFERENCE_EPOCH + day_offset * 86400
+            for hour in hours:
+                samples.append(self.travel_time(road_id, base + hour * 3600.0))
+        return float(np.mean(samples))
+
+    def hourly_profile(self, road_id: int, weekend: bool = False) -> np.ndarray:
+        """``(24,)`` expected travel time of a road per hour (for diagnostics)."""
+        from repro.trajectory.types import REFERENCE_EPOCH
+
+        # Day 5 of the reference week is Saturday (the reference epoch is a Monday).
+        base = REFERENCE_EPOCH + (5 * 86400 if weekend else 0)
+        return np.array(
+            [self.travel_time(road_id, base + h * 3600.0) for h in range(24)], dtype=np.float64
+        )

@@ -1,0 +1,187 @@
+"""Trajectory dataset container, preprocessing and chronological splits.
+
+Implements the preprocessing rules of Section IV-A of the paper: loop
+trajectories are removed, trajectories shorter than six roads are removed,
+users with fewer than a minimum number of trajectories are removed, and the
+maximum trajectory length is capped at 128.  Splitting is chronological
+(train / validation / test), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.trajectory.types import Trajectory, hour_of_day, is_weekend
+
+
+@dataclass
+class PreprocessConfig:
+    """Filtering rules applied before training."""
+
+    min_length: int = 6
+    max_length: int = 128
+    min_trajectories_per_user: int = 5
+    remove_loops: bool = True
+
+
+@dataclass
+class DatasetSplit:
+    """Indices of the chronological train/validation/test split."""
+
+    train: list[int] = field(default_factory=list)
+    validation: list[int] = field(default_factory=list)
+    test: list[int] = field(default_factory=list)
+
+
+class TrajectoryDataset:
+    """A collection of road-network constrained trajectories over one network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        trajectories: list[Trajectory],
+        name: str = "synthetic",
+    ) -> None:
+        self.network = network
+        self.trajectories = list(trajectories)
+        self.name = name
+        self._split: DatasetSplit | None = None
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __getitem__(self, index: int) -> Trajectory:
+        return self.trajectories[index]
+
+    def __iter__(self):
+        return iter(self.trajectories)
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing
+    # ------------------------------------------------------------------ #
+    def preprocess(self, config: PreprocessConfig | None = None) -> "TrajectoryDataset":
+        """Return a new dataset with the paper's filtering rules applied."""
+        config = config or PreprocessConfig()
+        kept: list[Trajectory] = []
+        for trajectory in self.trajectories:
+            if len(trajectory) < config.min_length:
+                continue
+            if config.remove_loops and trajectory.has_loop():
+                continue
+            if len(trajectory) > config.max_length:
+                trajectory = trajectory.copy()
+                trajectory.roads = trajectory.roads[: config.max_length]
+                trajectory.timestamps = trajectory.timestamps[: config.max_length]
+            kept.append(trajectory)
+        # Drop users with too few trajectories.
+        counts: dict[int, int] = {}
+        for trajectory in kept:
+            counts[trajectory.user_id] = counts.get(trajectory.user_id, 0) + 1
+        kept = [t for t in kept if counts[t.user_id] >= config.min_trajectories_per_user]
+        return TrajectoryDataset(self.network, kept, name=self.name)
+
+    def covered_roads(self) -> set[int]:
+        """Road ids visited by at least one trajectory."""
+        covered: set[int] = set()
+        for trajectory in self.trajectories:
+            covered.update(trajectory.roads)
+        return covered
+
+    # ------------------------------------------------------------------ #
+    # Splits
+    # ------------------------------------------------------------------ #
+    def chronological_split(
+        self, train_fraction: float = 0.6, validation_fraction: float = 0.2
+    ) -> DatasetSplit:
+        """Split indices by departure time (train = earliest trajectories)."""
+        if not 0 < train_fraction < 1 or not 0 <= validation_fraction < 1:
+            raise ValueError("fractions must lie in (0, 1)")
+        if train_fraction + validation_fraction >= 1.0:
+            raise ValueError("train + validation fractions must leave room for test")
+        order = np.argsort([t.departure_time for t in self.trajectories])
+        n = len(order)
+        train_end = int(n * train_fraction)
+        val_end = int(n * (train_fraction + validation_fraction))
+        split = DatasetSplit(
+            train=[int(i) for i in order[:train_end]],
+            validation=[int(i) for i in order[train_end:val_end]],
+            test=[int(i) for i in order[val_end:]],
+        )
+        self._split = split
+        return split
+
+    @property
+    def split(self) -> DatasetSplit:
+        if self._split is None:
+            self.chronological_split()
+        return self._split
+
+    def subset(self, indices: list[int]) -> list[Trajectory]:
+        return [self.trajectories[i] for i in indices]
+
+    def train_trajectories(self) -> list[Trajectory]:
+        return self.subset(self.split.train)
+
+    def validation_trajectories(self) -> list[Trajectory]:
+        return self.subset(self.split.validation)
+
+    def test_trajectories(self) -> list[Trajectory]:
+        return self.subset(self.split.test)
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table I / Figure 1 reproductions)
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict:
+        """Summary statistics mirroring Table I of the paper."""
+        users = {t.user_id for t in self.trajectories}
+        lengths = np.array([len(t) for t in self.trajectories]) if self.trajectories else np.zeros(1)
+        durations = (
+            np.array([t.travel_time for t in self.trajectories]) if self.trajectories else np.zeros(1)
+        )
+        split = self.split
+        return {
+            "name": self.name,
+            "num_trajectories": len(self.trajectories),
+            "num_users": len(users),
+            "num_roads": self.network.num_roads,
+            "num_covered_roads": len(self.covered_roads()),
+            "mean_length": float(lengths.mean()),
+            "max_length": int(lengths.max()),
+            "mean_travel_time_s": float(durations.mean()),
+            "train/eval/test": (len(split.train), len(split.validation), len(split.test)),
+        }
+
+    def hourly_counts(self, weekend: bool | None = None) -> np.ndarray:
+        """Number of trajectories departing in each hour of day (Figure 1(b))."""
+        counts = np.zeros(24, dtype=np.int64)
+        for trajectory in self.trajectories:
+            if weekend is not None and is_weekend(trajectory.departure_time) != weekend:
+                continue
+            counts[hour_of_day(trajectory.departure_time)] += 1
+        return counts
+
+    def daily_counts(self) -> np.ndarray:
+        """Number of trajectories per day-of-week, Monday first (Figure 1(b))."""
+        counts = np.zeros(7, dtype=np.int64)
+        for trajectory in self.trajectories:
+            counts[trajectory.day_indices()[0] - 1] += 1
+        return counts
+
+    def interval_distribution(self) -> np.ndarray:
+        """All consecutive-road time intervals in seconds (Figure 1(c))."""
+        intervals: list[float] = []
+        for trajectory in self.trajectories:
+            times = np.asarray(trajectory.timestamps)
+            intervals.extend(np.diff(times).tolist())
+        return np.array(intervals, dtype=np.float64)
+
+    def road_visit_counts(self) -> np.ndarray:
+        """Visit count per road id (travel-semantics statistic, Figure 1(a))."""
+        counts = np.zeros(self.network.num_roads, dtype=np.int64)
+        for trajectory in self.trajectories:
+            for road in trajectory.roads:
+                counts[road] += 1
+        return counts

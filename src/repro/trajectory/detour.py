@@ -1,0 +1,149 @@
+"""Detour-based ground truth for trajectory similarity search.
+
+Section IV-D4 of the paper: for each query trajectory, a detour variant is
+constructed by replacing a consecutive sub-trajectory (at most ``p_d`` of the
+length) with an alternative route between the same two roads found by a
+top-k shortest-path search, provided the alternative's travel time differs by
+more than a threshold ``t_d``.  The detour of a query is its ground-truth
+nearest neighbour in the database; additional negative trajectories (and
+their detours) fill out the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.shortest_path import k_shortest_paths, path_cost
+from repro.trajectory.types import Trajectory
+from repro.utils.seeding import get_rng
+
+
+@dataclass
+class DetourConfig:
+    """Parameters of ground-truth generation (paper defaults in brackets)."""
+
+    selection_proportion: float = 0.2  # p_d (0.2)
+    time_threshold: float = 0.2        # t_d (0.2)
+    top_k: int = 4
+    max_attempts: int = 8
+
+
+@dataclass
+class SimilarityBenchmark:
+    """Query set, database and ground-truth mapping for similarity search."""
+
+    queries: list[Trajectory] = field(default_factory=list)
+    database: list[Trajectory] = field(default_factory=list)
+    ground_truth: dict[int, int] = field(default_factory=dict)
+    """Maps query index -> database index of its detour counterpart."""
+
+
+def make_detour(
+    network: RoadNetwork,
+    trajectory: Trajectory,
+    config: DetourConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> Trajectory | None:
+    """Create a detour variant of ``trajectory`` (or ``None`` when impossible)."""
+    config = config or DetourConfig()
+    rng = rng if rng is not None else get_rng()
+    length = len(trajectory)
+    max_span = max(int(length * config.selection_proportion), 2)
+    if length < 4:
+        return None
+
+    for _ in range(config.max_attempts):
+        span = int(rng.integers(2, max_span + 1))
+        start = int(rng.integers(0, length - span))
+        end = start + span - 1
+        sub_origin = trajectory.roads[start]
+        sub_destination = trajectory.roads[end]
+        original_cost = path_cost(network, trajectory.roads[start : end + 1], weight="time")
+        alternatives = k_shortest_paths(
+            network, sub_origin, sub_destination, k=config.top_k, weight="time"
+        )
+        for candidate, _ in alternatives:
+            if candidate == trajectory.roads[start : end + 1]:
+                continue
+            candidate_cost = path_cost(network, candidate, weight="time")
+            relative_change = abs(candidate_cost - original_cost) / max(original_cost, 1e-6)
+            if relative_change < config.time_threshold:
+                continue
+            new_roads = trajectory.roads[:start] + candidate + trajectory.roads[end + 1 :]
+            new_times = _retime(trajectory, start, end, candidate, candidate_cost)
+            detour = trajectory.copy()
+            detour.roads = new_roads
+            detour.timestamps = new_times
+            detour.metadata["detour_of"] = trajectory.trajectory_id
+            if detour.has_loop():
+                continue
+            return detour
+    return None
+
+
+def _retime(
+    trajectory: Trajectory, start: int, end: int, candidate: list[int], candidate_cost: float
+) -> list[float]:
+    """Re-assign visit times over the replaced span, keeping the prefix intact."""
+    times = list(trajectory.timestamps)
+    prefix = times[:start]
+    start_time = times[start]
+    per_road = candidate_cost / max(len(candidate), 1)
+    replaced = [start_time + i * per_road for i in range(len(candidate))]
+    suffix_original = times[end + 1 :]
+    if suffix_original:
+        # Shift the suffix so it starts right after the new span ends.
+        shift = (replaced[-1] + per_road) - suffix_original[0]
+        suffix = [t + shift for t in suffix_original]
+    else:
+        suffix = []
+    return prefix + replaced + suffix
+
+
+def build_similarity_benchmark(
+    network: RoadNetwork,
+    trajectories: list[Trajectory],
+    num_queries: int,
+    num_negatives: int,
+    config: DetourConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> SimilarityBenchmark:
+    """Build the query / database / ground-truth triple used by the experiments.
+
+    The database is ``D_D = D_N' ∪ D_Q'`` (detours of the negatives plus
+    detours of the queries); query ``i``'s ground truth is its own detour.
+    Trajectories for which no valid detour can be constructed are skipped.
+    """
+    config = config or DetourConfig()
+    rng = rng if rng is not None else get_rng()
+    pool = list(trajectories)
+    rng.shuffle(pool)
+
+    benchmark = SimilarityBenchmark()
+    # Queries and their detours.
+    for trajectory in pool:
+        if len(benchmark.queries) >= num_queries:
+            break
+        detour = make_detour(network, trajectory, config=config, rng=rng)
+        if detour is None:
+            continue
+        benchmark.ground_truth[len(benchmark.queries)] = len(benchmark.database)
+        benchmark.queries.append(trajectory)
+        benchmark.database.append(detour)
+    # Negatives: detours of other trajectories.
+    used_ids = {t.trajectory_id for t in benchmark.queries}
+    negatives_added = 0
+    for trajectory in pool:
+        if negatives_added >= num_negatives:
+            break
+        if trajectory.trajectory_id in used_ids:
+            continue
+        detour = make_detour(network, trajectory, config=config, rng=rng)
+        if detour is None:
+            continue
+        benchmark.database.append(detour)
+        negatives_added += 1
+    return benchmark

@@ -1,0 +1,62 @@
+"""Persistence of trajectory datasets (JSON-lines + the network CSVs).
+
+A dataset directory contains the road network (written via
+:mod:`repro.roadnet.io`) and a ``trajectories.jsonl`` file with one trajectory
+per line, which keeps the format debuggable with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.roadnet.io import load_network, save_network
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.types import Trajectory
+
+
+def save_dataset(dataset: TrajectoryDataset, directory: str | Path) -> Path:
+    """Write the dataset (network + trajectories) under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_network(dataset.network, directory / "network")
+    with open(directory / "trajectories.jsonl", "w") as handle:
+        for trajectory in dataset.trajectories:
+            record = {
+                "roads": trajectory.roads,
+                "timestamps": trajectory.timestamps,
+                "user_id": trajectory.user_id,
+                "occupied": trajectory.occupied,
+                "mode": trajectory.mode,
+                "trajectory_id": trajectory.trajectory_id,
+            }
+            handle.write(json.dumps(record) + "\n")
+    with open(directory / "meta.json", "w") as handle:
+        json.dump({"name": dataset.name}, handle)
+    return directory
+
+
+def load_dataset(directory: str | Path) -> TrajectoryDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    network = load_network(directory / "network")
+    trajectories: list[Trajectory] = []
+    with open(directory / "trajectories.jsonl") as handle:
+        for line in handle:
+            record = json.loads(line)
+            trajectories.append(
+                Trajectory(
+                    roads=[int(r) for r in record["roads"]],
+                    timestamps=[float(t) for t in record["timestamps"]],
+                    user_id=int(record["user_id"]),
+                    occupied=int(record["occupied"]),
+                    mode=record.get("mode", "car"),
+                    trajectory_id=int(record["trajectory_id"]),
+                )
+            )
+    name = "synthetic"
+    meta_path = directory / "meta.json"
+    if meta_path.exists():
+        with open(meta_path) as handle:
+            name = json.load(handle).get("name", name)
+    return TrajectoryDataset(network, trajectories, name=name)

@@ -1,0 +1,174 @@
+"""HMM map matching: align raw GPS points to road segments.
+
+The paper relies on FMM (fast map matching, Yang & Gidofalvi 2018), an HMM
+matcher with precomputed shortest paths.  This module implements the same
+algorithmic family at the scale of the synthetic cities:
+
+* **candidates** — for each GPS point, the road segments whose geometry lies
+  within a search radius;
+* **emission probability** — Gaussian in the point-to-segment distance;
+* **transition probability** — favours candidate pairs whose network distance
+  is close to the straight-line distance between the GPS points (penalising
+  detours and teleports);
+* **Viterbi decoding** — the most probable road sequence, collapsed to remove
+  consecutive duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.shortest_path import shortest_path
+from repro.trajectory.types import RawTrajectory, Trajectory
+
+
+@dataclass
+class MatchingConfig:
+    """Tunables of the HMM matcher."""
+
+    search_radius: float = 60.0
+    gps_error_std: float = 20.0
+    transition_beta: float = 40.0
+    max_candidates: int = 6
+
+
+def _point_to_segment_distance(point: np.ndarray, start: np.ndarray, end: np.ndarray) -> float:
+    """Euclidean distance from ``point`` to the segment ``start``-``end``."""
+    direction = end - start
+    norm_sq = float(direction @ direction)
+    if norm_sq < 1e-12:
+        return float(np.linalg.norm(point - start))
+    alpha = float(np.clip((point - start) @ direction / norm_sq, 0.0, 1.0))
+    projection = start + alpha * direction
+    return float(np.linalg.norm(point - projection))
+
+
+class HMMMapMatcher:
+    """Hidden-Markov-model map matcher over a :class:`RoadNetwork`."""
+
+    def __init__(self, network: RoadNetwork, config: MatchingConfig | None = None) -> None:
+        self.network = network
+        self.config = config or MatchingConfig()
+        self._starts = np.array([seg.start for seg in network.segments], dtype=np.float64)
+        self._ends = np.array([seg.end for seg in network.segments], dtype=np.float64)
+        self._road_ids = np.array([seg.road_id for seg in network.segments], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # HMM components
+    # ------------------------------------------------------------------ #
+    def candidates(self, point: np.ndarray) -> list[tuple[int, float]]:
+        """Road segments within the search radius of ``point`` with distances."""
+        midpoints = (self._starts + self._ends) / 2.0
+        rough = np.linalg.norm(midpoints - point, axis=1)
+        # Pre-filter by midpoint distance to avoid the exact computation everywhere.
+        shortlist = np.where(rough <= self.config.search_radius * 3.0)[0]
+        scored: list[tuple[int, float]] = []
+        for index in shortlist:
+            distance = _point_to_segment_distance(point, self._starts[index], self._ends[index])
+            if distance <= self.config.search_radius:
+                scored.append((int(self._road_ids[index]), distance))
+        scored.sort(key=lambda item: item[1])
+        return scored[: self.config.max_candidates]
+
+    def emission_log_prob(self, distance: float) -> float:
+        """Log probability of observing a GPS point ``distance`` metres from a road."""
+        sigma = self.config.gps_error_std
+        return float(-0.5 * (distance / sigma) ** 2 - np.log(sigma * np.sqrt(2 * np.pi)))
+
+    def transition_log_prob(
+        self, prev_road: int, next_road: int, straight_line: float
+    ) -> float:
+        """Log probability of moving from ``prev_road`` to ``next_road``."""
+        if prev_road == next_road:
+            network_distance = 0.0
+        elif self.network.is_connected_pair(prev_road, next_road):
+            network_distance = self.network.segment(next_road).length
+        else:
+            try:
+                _, cost = shortest_path(self.network, prev_road, next_road, weight="length")
+                network_distance = cost - self.network.segment(prev_road).length
+            except ValueError:
+                return -np.inf
+        gap = abs(network_distance - straight_line)
+        return float(-gap / self.config.transition_beta)
+
+    # ------------------------------------------------------------------ #
+    # Viterbi decoding
+    # ------------------------------------------------------------------ #
+    def match(self, raw: RawTrajectory) -> Trajectory | None:
+        """Match a raw GPS trajectory to a road-network constrained trajectory.
+
+        Returns ``None`` when no GPS point has any candidate road.
+        """
+        coords = raw.coordinates()
+        times = raw.timestamps()
+        candidate_lists = [self.candidates(point) for point in coords]
+        usable = [i for i, cands in enumerate(candidate_lists) if cands]
+        if not usable:
+            return None
+        coords = coords[usable]
+        times = times[usable]
+        candidate_lists = [candidate_lists[i] for i in usable]
+
+        # Viterbi over the candidate lattice.
+        scores: list[dict[int, float]] = [{}]
+        back: list[dict[int, int | None]] = [{}]
+        for road, distance in candidate_lists[0]:
+            scores[0][road] = self.emission_log_prob(distance)
+            back[0][road] = None
+        for step in range(1, len(candidate_lists)):
+            scores.append({})
+            back.append({})
+            straight = float(np.linalg.norm(coords[step] - coords[step - 1]))
+            for road, distance in candidate_lists[step]:
+                emission = self.emission_log_prob(distance)
+                best_prev, best_score = None, -np.inf
+                for prev_road, prev_score in scores[step - 1].items():
+                    transition = self.transition_log_prob(prev_road, road, straight)
+                    total = prev_score + transition
+                    if total > best_score:
+                        best_prev, best_score = prev_road, total
+                if best_prev is None:
+                    continue
+                scores[step][road] = best_score + emission
+                back[step][road] = best_prev
+            if not scores[step]:
+                # Dead end: restart the chain from this observation.
+                for road, distance in candidate_lists[step]:
+                    scores[step][road] = self.emission_log_prob(distance)
+                    back[step][road] = None
+
+        # Backtrack.
+        path: list[int | None] = [max(scores[-1], key=scores[-1].get)]
+        for step in range(len(scores) - 1, 0, -1):
+            prev = back[step].get(path[-1])
+            if prev is None:
+                prev = max(scores[step - 1], key=scores[step - 1].get)
+            path.append(prev)
+        path.reverse()
+
+        # Collapse consecutive duplicates, keeping the first visit time.
+        roads: list[int] = []
+        timestamps: list[float] = []
+        for road, timestamp in zip(path, times):
+            if not roads or roads[-1] != road:
+                roads.append(int(road))
+                timestamps.append(float(timestamp))
+        return Trajectory(
+            roads=roads,
+            timestamps=timestamps,
+            user_id=raw.user_id,
+            trajectory_id=raw.trajectory_id,
+        )
+
+    def match_many(self, raw_trajectories: list[RawTrajectory]) -> list[Trajectory]:
+        """Match a batch, silently dropping trajectories that cannot be matched."""
+        matched = []
+        for raw in raw_trajectories:
+            result = self.match(raw)
+            if result is not None and len(result) > 0:
+                matched.append(result)
+        return matched

@@ -1,0 +1,23 @@
+"""Logging configuration shared by trainers and experiment runners."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger.
+
+    Handlers are attached only once per logger name so repeated calls from
+    notebooks or test runs do not duplicate output lines.
+    """
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger

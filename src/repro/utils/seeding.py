@@ -1,0 +1,39 @@
+"""Deterministic seeding helpers.
+
+Every stochastic component in the library (weight initialisation, dropout,
+data generation, augmentation) draws randomness from a ``numpy.random.Generator``
+so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+
+
+def seed_everything(seed: int) -> None:
+    """Seed Python's ``random`` module and the legacy NumPy global RNG.
+
+    The library itself prefers explicit :class:`numpy.random.Generator`
+    objects (see :func:`get_rng`), but third-party helpers and quick scripts
+    sometimes rely on the global state, so both are seeded.
+    """
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+
+
+def get_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    If ``seed`` is ``None``, the generator is derived from the last seed given
+    to :func:`seed_everything` so that repeated calls in one process stay
+    deterministic but independent.
+    """
+    if seed is None:
+        seed = _GLOBAL_SEED
+    return np.random.default_rng(seed)

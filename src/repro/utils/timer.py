@@ -1,0 +1,36 @@
+"""A tiny wall-clock timer used by the efficiency experiments (Figure 10)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def restart(self) -> None:
+        """Reset the start time without clearing the last elapsed value."""
+        self.start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Return seconds since the last start/restart."""
+        return time.perf_counter() - self.start

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures: deterministic seeding and small reusable datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_all():
+    """Make every test deterministic regardless of execution order."""
+    seed_everything(1234)
+    yield
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

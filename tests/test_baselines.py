@@ -1,0 +1,171 @@
+"""Tests for the baseline models: node2vec, RNN/Transformer encoders, classical measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_NAMES,
+    ClassicalSimilarity,
+    Node2VecConfig,
+    build_baseline,
+    dtw_distance,
+    edr_distance,
+    frechet_distance,
+    generate_walks,
+    lcss_distance,
+    node2vec_embeddings,
+    trajectory_coordinates,
+)
+from repro.core import TravelTimeEstimator, TrajectoryClassifier, tiny_config
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    CongestionModel,
+    DemandConfig,
+    TrajectoryDataset,
+    TrajectoryGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_city(CityConfig(grid_rows=5, grid_cols=5, seed=8))
+
+
+@pytest.fixture(scope="module")
+def dataset(network):
+    config = DemandConfig(num_drivers=6, num_days=7, trips_per_driver_per_day=2.0, seed=8)
+    generator = TrajectoryGenerator(network, CongestionModel(network), config)
+    result = generator.generate(num_trajectories=60)
+    ds = TrajectoryDataset(network, result.trajectories, name="baseline-test")
+    ds.chronological_split()
+    return ds
+
+
+class TestNode2Vec:
+    def test_walks_follow_edges(self, network):
+        walks = generate_walks(network, Node2VecConfig(walks_per_node=1, walk_length=6, seed=0))
+        assert walks
+        for walk in walks[:20]:
+            assert network.validate_path(walk)
+
+    def test_embeddings_shape_and_finite(self, network):
+        embeddings = node2vec_embeddings(
+            network, Node2VecConfig(dimensions=16, walks_per_node=1, walk_length=8, epochs=1, seed=0)
+        )
+        assert embeddings.shape == (network.num_roads, 16)
+        assert np.isfinite(embeddings).all()
+
+    def test_connected_roads_more_similar_than_random(self, network):
+        embeddings = node2vec_embeddings(
+            network, Node2VecConfig(dimensions=16, walks_per_node=2, walk_length=10, epochs=2, seed=0)
+        )
+        normalised = embeddings / (np.linalg.norm(embeddings, axis=1, keepdims=True) + 1e-9)
+        rng = np.random.default_rng(0)
+        neighbour_sims, random_sims = [], []
+        for source, target in network.edges[:200]:
+            neighbour_sims.append(float(normalised[source] @ normalised[target]))
+            random_target = int(rng.integers(network.num_roads))
+            random_sims.append(float(normalised[source] @ normalised[random_target]))
+        assert np.mean(neighbour_sims) > np.mean(random_sims)
+
+
+class TestLearnedBaselines:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_pretrain_and_encode(self, name, network, dataset):
+        config = tiny_config(batch_size=8, pretrain_epochs=1)
+        cache: dict[int, np.ndarray] = {}
+        model = build_baseline(name, network, config, node2vec_cache=cache)
+        assert model.name == name
+        history = model.pretrain(dataset.train_trajectories()[:16], epochs=1)
+        assert len(history) == 1 and np.isfinite(history[0])
+        vectors = model.encode(dataset.test_trajectories()[:5])
+        assert vectors.shape == (5, config.d_model)
+        assert np.isfinite(vectors).all()
+
+    def test_unknown_baseline(self, network):
+        with pytest.raises(ValueError):
+            build_baseline("word2vec", network)
+
+    def test_node2vec_cache_reused(self, network):
+        config = tiny_config(batch_size=8)
+        cache: dict[int, np.ndarray] = {}
+        build_baseline("PIM", network, config, node2vec_cache=cache)
+        first = cache[id(network)]
+        build_baseline("Toast", network, config, node2vec_cache=cache)
+        assert cache[id(network)] is first
+
+    def test_baseline_works_with_finetuning_heads(self, network, dataset):
+        """The shared interface lets the START fine-tuning heads drive baselines."""
+        config = tiny_config(batch_size=8, finetune_epochs=1)
+        model = build_baseline("Transformer", network, config)
+        estimator = TravelTimeEstimator(model, config)
+        estimator.fit(dataset.train_trajectories()[:24], epochs=1)
+        predictions = estimator.predict(dataset.test_trajectories()[:4])
+        assert predictions.shape == (4,)
+
+        classifier = TrajectoryClassifier(model, num_classes=2, label_kind="occupied", config=config)
+        classifier.fit(dataset.train_trajectories()[:24], epochs=1)
+        assert classifier.predict(dataset.test_trajectories()[:4]).shape == (4,)
+
+    def test_baseline_rejects_bad_road_embeddings(self, network):
+        from repro.baselines import Toast
+
+        with pytest.raises(ValueError):
+            Toast(network, tiny_config(), road_embeddings=np.zeros((3, 3), dtype=np.float32))
+
+    def test_trembr_uses_time(self, network, dataset):
+        """Trembr's loss should include the travel-time term (different from traj2vec)."""
+        config = tiny_config(batch_size=8)
+        trembr = build_baseline("Trembr", network, config)
+        traj2vec = build_baseline("traj2vec", network, config)
+        assert trembr.reconstruct_time and not traj2vec.reconstruct_time
+
+
+class TestClassicalMeasures:
+    def _square(self, offset=0.0):
+        return np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=np.float64) + offset
+
+    def test_identical_sequences_have_zero_distance(self):
+        a = self._square()
+        assert dtw_distance(a, a) == pytest.approx(0.0)
+        assert frechet_distance(a, a) == pytest.approx(0.0)
+        assert lcss_distance(a, a, epsilon=0.1) == pytest.approx(0.0)
+        assert edr_distance(a, a, epsilon=0.1) == pytest.approx(0.0)
+
+    def test_distance_grows_with_offset(self):
+        a = self._square()
+        near = self._square(offset=10.0)
+        far = self._square(offset=500.0)
+        for measure in (dtw_distance, frechet_distance):
+            assert measure(a, far) > measure(a, near)
+
+    def test_lcss_and_edr_bounded(self):
+        a = self._square()
+        b = self._square(offset=1000.0)
+        assert 0.0 <= lcss_distance(a, b) <= 1.0
+        assert 0.0 <= edr_distance(a, b) <= 1.0
+
+    def test_empty_sequences(self):
+        empty = np.zeros((0, 2))
+        a = self._square()
+        assert dtw_distance(empty, a) == np.inf
+        assert lcss_distance(empty, a) == 1.0
+        assert edr_distance(empty, empty) == 0.0
+
+    def test_classical_similarity_wrapper(self, network, dataset):
+        wrapper = ClassicalSimilarity(network, "DTW")
+        query = dataset.trajectories[0]
+        database = dataset.trajectories[:5]
+        distances = wrapper.distances_to_database(query, database)
+        assert distances.shape == (5,)
+        assert distances[0] == pytest.approx(0.0)  # distance to itself
+
+    def test_classical_unknown_measure(self, network):
+        with pytest.raises(ValueError):
+            ClassicalSimilarity(network, "cosine")
+
+    def test_trajectory_coordinates_shape(self, network, dataset):
+        coords = trajectory_coordinates(network, dataset.trajectories[0])
+        assert coords.shape == (len(dataset.trajectories[0]), 2)

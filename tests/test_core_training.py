@@ -1,0 +1,144 @@
+"""Tests for self-supervised pre-training and downstream fine-tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Pretrainer,
+    STARTModel,
+    TravelTimeEstimator,
+    TrajectoryClassifier,
+    tiny_config,
+)
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    CongestionModel,
+    DemandConfig,
+    TrajectoryDataset,
+    TrajectoryGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    network = generate_city(CityConfig(grid_rows=5, grid_cols=5, seed=8))
+    config = DemandConfig(num_drivers=6, num_days=7, trips_per_driver_per_day=3.0, seed=8)
+    generator = TrajectoryGenerator(network, CongestionModel(network), config)
+    result = generator.generate(num_trajectories=80)
+    ds = TrajectoryDataset(network, result.trajectories, name="train-test")
+    ds.chronological_split()
+    return ds
+
+
+class TestPretraining:
+    def test_pretrain_reduces_loss(self, dataset):
+        config = tiny_config(batch_size=16, pretrain_epochs=3)
+        model = STARTModel.from_dataset(dataset, config)
+        history = Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=3)
+        assert history.epochs == 3
+        assert history.total[-1] < history.total[0]
+
+    def test_pretrain_mask_only(self, dataset):
+        config = tiny_config(use_contrastive_loss=False, pretrain_epochs=1)
+        model = STARTModel.from_dataset(dataset, config)
+        history = Pretrainer(model, config).pretrain(dataset.train_trajectories()[:24], epochs=1)
+        assert history.contrastive[-1] == 0.0
+        assert history.mask[-1] > 0.0
+
+    def test_pretrain_contrastive_only(self, dataset):
+        config = tiny_config(use_mask_loss=False, pretrain_epochs=1)
+        model = STARTModel.from_dataset(dataset, config)
+        history = Pretrainer(model, config).pretrain(dataset.train_trajectories()[:24], epochs=1)
+        assert history.mask[-1] == 0.0
+        assert history.contrastive[-1] > 0.0
+
+    def test_pretrain_requires_data(self, dataset):
+        config = tiny_config()
+        model = STARTModel.from_dataset(dataset, config)
+        with pytest.raises(ValueError):
+            Pretrainer(model, config).pretrain([])
+
+    def test_pretrain_with_each_augmentation_pair(self, dataset):
+        for pair in (("mask", "dropout"), ("trim", "mask")):
+            config = tiny_config(augmentations=pair, pretrain_epochs=1, batch_size=8)
+            model = STARTModel.from_dataset(dataset, config)
+            history = Pretrainer(model, config).pretrain(dataset.train_trajectories()[:16], epochs=1)
+            assert np.isfinite(history.total[-1])
+
+    def test_pretraining_changes_parameters(self, dataset):
+        config = tiny_config(pretrain_epochs=1, batch_size=8)
+        model = STARTModel.from_dataset(dataset, config)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        Pretrainer(model, config).pretrain(dataset.train_trajectories()[:16], epochs=1)
+        after = model.state_dict()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_checkpoint_roundtrip_after_pretraining(self, dataset, tmp_path):
+        config = tiny_config(pretrain_epochs=1, batch_size=8)
+        model = STARTModel.from_dataset(dataset, config)
+        Pretrainer(model, config).pretrain(dataset.train_trajectories()[:16], epochs=1)
+        path = save_checkpoint(model, tmp_path / "start.ckpt", metadata={"epochs": 1})
+        clone = STARTModel.from_dataset(dataset, config.variant(seed=99))
+        meta = load_checkpoint(clone, path)
+        assert meta["epochs"] == 1
+        np.testing.assert_allclose(
+            model.encode(dataset.trajectories[:3]), clone.encode(dataset.trajectories[:3]), atol=1e-5
+        )
+
+
+class TestFineTuning:
+    def test_travel_time_estimator_learns(self, dataset):
+        config = tiny_config(finetune_epochs=4, batch_size=16)
+        model = STARTModel.from_dataset(dataset, config)
+        estimator = TravelTimeEstimator(model, config)
+        history = estimator.fit(dataset.train_trajectories(), epochs=4)
+        assert history.loss[-1] < history.loss[0]
+        predictions = estimator.predict(dataset.test_trajectories())
+        truth = np.array([t.travel_time for t in dataset.test_trajectories()])
+        assert predictions.shape == truth.shape
+        # Better than predicting zero seconds for everything.
+        assert np.abs(predictions - truth).mean() < np.abs(truth).mean()
+
+    def test_travel_time_requires_data(self, dataset):
+        model = STARTModel.from_dataset(dataset, tiny_config())
+        with pytest.raises(ValueError):
+            TravelTimeEstimator(model).fit([])
+
+    def test_classifier_learns_binary_label(self, dataset):
+        config = tiny_config(finetune_epochs=4, batch_size=16)
+        model = STARTModel.from_dataset(dataset, config)
+        classifier = TrajectoryClassifier(model, num_classes=2, label_kind="occupied", config=config)
+        history = classifier.fit(dataset.train_trajectories(), epochs=4)
+        assert history.loss[-1] < history.loss[0]
+        probabilities = classifier.predict_proba(dataset.test_trajectories())
+        assert probabilities.shape == (len(dataset.test_trajectories()), 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-4)
+
+    def test_classifier_driver_label(self, dataset):
+        config = tiny_config(finetune_epochs=1, batch_size=16)
+        model = STARTModel.from_dataset(dataset, config)
+        classifier = TrajectoryClassifier(model, num_classes=6, label_kind="driver", config=config)
+        classifier.fit(dataset.train_trajectories()[:32], epochs=1)
+        predictions = classifier.predict(dataset.test_trajectories()[:10])
+        assert predictions.shape == (10,)
+        assert predictions.max() < 6
+
+    def test_labels_of_matches_trajectories(self, dataset):
+        model = STARTModel.from_dataset(dataset, tiny_config())
+        classifier = TrajectoryClassifier(model, num_classes=2, label_kind="occupied")
+        labels = classifier.labels_of(dataset.trajectories[:5])
+        np.testing.assert_array_equal(labels, [t.occupied for t in dataset.trajectories[:5]])
+
+    def test_pretraining_then_finetuning_pipeline(self, dataset):
+        """End-to-end integration: pre-train, fine-tune, predict."""
+        config = tiny_config(pretrain_epochs=1, finetune_epochs=2, batch_size=16)
+        model = STARTModel.from_dataset(dataset, config)
+        Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=1)
+        estimator = TravelTimeEstimator(model, config)
+        estimator.fit(dataset.train_trajectories(), epochs=2)
+        predictions = estimator.predict(dataset.test_trajectories()[:8])
+        assert np.isfinite(predictions).all()

@@ -1,0 +1,160 @@
+"""Tests for the evaluation metrics and the similarity-search harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy,
+    binary_classification_report,
+    euclidean_distance_matrix,
+    f1_score,
+    hit_ratio,
+    knearest_precision,
+    macro_f1,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_rank,
+    micro_f1,
+    most_similar_search_report,
+    multiclass_classification_report,
+    precision_at_k,
+    ranking_report,
+    ranks_of_ground_truth,
+    recall_at_k,
+    regression_report,
+    roc_auc,
+    root_mean_squared_error,
+    top_k_indices,
+)
+
+
+class TestRegressionMetrics:
+    def test_perfect_predictions(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_error(truth, truth) == 0.0
+        assert root_mean_squared_error(truth, truth) == 0.0
+        assert mean_absolute_percentage_error(truth, truth) == 0.0
+
+    def test_known_values(self):
+        truth = np.array([100.0, 200.0])
+        predictions = np.array([110.0, 180.0])
+        assert mean_absolute_error(truth, predictions) == pytest.approx(15.0)
+        assert root_mean_squared_error(truth, predictions) == pytest.approx(np.sqrt((100 + 400) / 2))
+        assert mean_absolute_percentage_error(truth, predictions) == pytest.approx((10 + 10) / 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+    def test_regression_report_keys(self):
+        report = regression_report(np.ones(4), np.ones(4) * 2)
+        assert set(report) == {"MAE", "MAPE", "RMSE"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=20),
+        shift=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_property_mae_bounded_by_rmse(self, values, shift):
+        truth = np.array(values)
+        predictions = truth + shift
+        assert mean_absolute_error(truth, predictions) <= root_mean_squared_error(truth, predictions) + 1e-9
+
+
+class TestClassificationMetrics:
+    def test_accuracy_and_f1(self):
+        truth = np.array([1, 0, 1, 1, 0])
+        predictions = np.array([1, 0, 0, 1, 1])
+        assert accuracy(truth, predictions) == pytest.approx(0.6)
+        # precision 2/3, recall 2/3 -> f1 = 2/3
+        assert f1_score(truth, predictions) == pytest.approx(2 / 3)
+
+    def test_f1_degenerate_cases(self):
+        assert f1_score(np.array([0, 0]), np.array([0, 0])) == 0.0
+
+    def test_auc_perfect_and_random(self):
+        truth = np.array([0, 0, 1, 1])
+        assert roc_auc(truth, np.array([0.1, 0.2, 0.8, 0.9])) == pytest.approx(1.0)
+        assert roc_auc(truth, np.array([0.9, 0.8, 0.2, 0.1])) == pytest.approx(0.0)
+        assert roc_auc(np.array([1, 1]), np.array([0.5, 0.5])) == 0.5  # no negatives
+
+    def test_auc_with_ties(self):
+        truth = np.array([0, 1, 0, 1])
+        assert roc_auc(truth, np.array([0.5, 0.5, 0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_micro_macro_f1(self):
+        truth = np.array([0, 0, 1, 2])
+        predictions = np.array([0, 0, 1, 1])
+        assert micro_f1(truth, predictions) == pytest.approx(0.75)
+        assert 0.0 < macro_f1(truth, predictions) < 1.0
+
+    def test_recall_at_k(self):
+        truth = np.array([0, 2])
+        probabilities = np.array([[0.9, 0.05, 0.05], [0.4, 0.35, 0.25]])
+        assert recall_at_k(truth, probabilities, k=1) == pytest.approx(0.5)
+        assert recall_at_k(truth, probabilities, k=3) == pytest.approx(1.0)
+
+    def test_recall_at_k_validates_shape(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([0]), np.array([0.5, 0.5]))
+
+    def test_report_keys(self):
+        binary = binary_classification_report(np.array([0, 1]), np.array([0, 1]), np.array([0.1, 0.9]))
+        assert set(binary) == {"ACC", "F1", "AUC"}
+        multi = multiclass_classification_report(
+            np.array([0, 1]), np.array([0, 1]), np.eye(2), k=2
+        )
+        assert set(multi) == {"Micro-F1", "Macro-F1", "Recall@2"}
+
+
+class TestRankingMetrics:
+    def test_mean_rank_and_hit_ratio(self):
+        ranks = np.array([1, 3, 10])
+        assert mean_rank(ranks) == pytest.approx(14 / 3)
+        assert hit_ratio(ranks, 1) == pytest.approx(1 / 3)
+        assert hit_ratio(ranks, 5) == pytest.approx(2 / 3)
+
+    def test_ranking_report_keys(self):
+        assert set(ranking_report(np.array([1, 2]))) == {"MR", "HR@1", "HR@5"}
+
+    def test_precision_at_k(self):
+        retrieved = np.array([[0, 1, 2], [3, 4, 5]])
+        relevant = np.array([[0, 1, 9], [9, 8, 7]])
+        assert precision_at_k(retrieved, relevant) == pytest.approx((2 / 3 + 0) / 2)
+
+    def test_precision_at_k_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestSimilarityHarness:
+    def test_euclidean_distance_matrix(self):
+        queries = np.array([[0.0, 0.0], [1.0, 1.0]])
+        database = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = euclidean_distance_matrix(queries, database)
+        assert distances[0, 0] == pytest.approx(0.0)
+        assert distances[0, 1] == pytest.approx(5.0)
+
+    def test_ranks_of_ground_truth(self):
+        distances = np.array([[0.5, 0.1, 0.9], [0.2, 0.3, 0.05]])
+        ground_truth = {0: 0, 1: 2}
+        ranks = ranks_of_ground_truth(distances, ground_truth)
+        np.testing.assert_array_equal(ranks, [2, 1])
+
+    def test_most_similar_search_report(self):
+        distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+        report = most_similar_search_report(distances, {0: 0, 1: 1})
+        assert report["MR"] == pytest.approx(1.0)
+        assert report["HR@1"] == pytest.approx(1.0)
+
+    def test_top_k_indices_and_knearest_precision(self):
+        original = np.array([[0.0, 1.0, 2.0, 3.0]])
+        slightly_perturbed = np.array([[0.1, 0.9, 2.5, 3.5]])
+        very_perturbed = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert top_k_indices(original, 2).tolist() == [[0, 1]]
+        assert knearest_precision(original, slightly_perturbed, k=2) == pytest.approx(1.0)
+        assert knearest_precision(original, very_perturbed, k=2) == pytest.approx(0.0)

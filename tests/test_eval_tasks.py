@@ -1,0 +1,137 @@
+"""Integration tests: downstream task runners driving START and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline
+from repro.core import Pretrainer, STARTModel, tiny_config
+from repro.eval import (
+    TaskSettings,
+    evaluate_classical_search,
+    evaluate_representation_knearest,
+    evaluate_representation_search,
+    number_of_classes,
+    run_classification_task,
+    run_similarity_task,
+    run_travel_time_task,
+)
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    CongestionModel,
+    DemandConfig,
+    DetourConfig,
+    TrajectoryDataset,
+    TrajectoryGenerator,
+    build_similarity_benchmark,
+    make_detour,
+)
+from repro.utils.seeding import get_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    network = generate_city(CityConfig(grid_rows=6, grid_cols=6, seed=3))
+    config = DemandConfig(num_drivers=8, num_days=10, trips_per_driver_per_day=2.5, seed=3)
+    generator = TrajectoryGenerator(network, CongestionModel(network), config)
+    result = generator.generate(num_trajectories=150)
+    ds = TrajectoryDataset(network, result.trajectories, name="eval-test")
+    ds.chronological_split()
+    return ds
+
+
+@pytest.fixture(scope="module")
+def pretrained_start(dataset):
+    config = tiny_config(pretrain_epochs=1, batch_size=16)
+    model = STARTModel.from_dataset(dataset, config)
+    Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=1)
+    return model, config
+
+
+class TestTaskRunners:
+    def test_travel_time_task_report(self, dataset, pretrained_start):
+        model, config = pretrained_start
+        report = run_travel_time_task(model, dataset, config, TaskSettings(finetune_epochs=2))
+        assert set(report) == {"MAE", "MAPE", "RMSE"}
+        assert report["MAE"] > 0
+        assert report["RMSE"] >= report["MAE"]
+
+    def test_classification_task_binary(self, dataset, pretrained_start):
+        model, config = pretrained_start
+        report = run_classification_task(
+            model, dataset, config, label_kind="occupied", num_classes=2,
+            settings=TaskSettings(finetune_epochs=2),
+        )
+        assert set(report) == {"ACC", "F1", "AUC"}
+        assert 0.0 <= report["ACC"] <= 1.0
+
+    def test_classification_task_multiclass(self, dataset, pretrained_start):
+        model, config = pretrained_start
+        classes = number_of_classes(dataset, "driver")
+        report = run_classification_task(
+            model, dataset, config, label_kind="driver", num_classes=classes,
+            settings=TaskSettings(finetune_epochs=1, classification_k=2),
+        )
+        assert set(report) == {"Micro-F1", "Macro-F1", "Recall@2"}
+
+    def test_similarity_task(self, dataset, pretrained_start):
+        model, _ = pretrained_start
+        report = run_similarity_task(model, dataset, TaskSettings(num_queries=6, num_negatives=15))
+        assert set(report) == {"MR", "HR@1", "HR@5"}
+        assert report["MR"] >= 1.0
+
+    def test_number_of_classes(self, dataset):
+        assert number_of_classes(dataset, "occupied") == 2
+        assert number_of_classes(dataset, "driver") >= 2
+        assert number_of_classes(dataset, "mode") == 4
+        with pytest.raises(ValueError):
+            number_of_classes(dataset, "weather")
+
+    def test_task_runners_accept_baselines(self, dataset):
+        config = tiny_config(pretrain_epochs=1, batch_size=16)
+        model = build_baseline("Trembr", dataset.network, config)
+        model.pretrain(dataset.train_trajectories()[:32], epochs=1)
+        report = run_travel_time_task(
+            model, dataset, config, TaskSettings(finetune_epochs=1),
+            train_trajectories=dataset.train_trajectories()[:32],
+            test_trajectories=dataset.test_trajectories()[:16],
+        )
+        assert np.isfinite(report["MAE"])
+
+
+class TestSimilaritySearchIntegration:
+    def test_representation_vs_classical_on_same_benchmark(self, dataset, pretrained_start):
+        model, _ = pretrained_start
+        benchmark = build_similarity_benchmark(
+            dataset.network, dataset.test_trajectories(), num_queries=6, num_negatives=12, rng=get_rng(1)
+        )
+        deep_report = evaluate_representation_search(model.encode, benchmark)
+        classical_report = evaluate_classical_search(dataset.network, "DTW", benchmark)
+        for report in (deep_report, classical_report):
+            assert set(report) == {"MR", "HR@1", "HR@5"}
+            assert 1.0 <= report["MR"] <= len(benchmark.database)
+
+    def test_knearest_precision_bounded_for_both_detour_sizes(self, dataset, pretrained_start):
+        model, _ = pretrained_start
+        rng = get_rng(2)
+        pool = dataset.test_trajectories()
+        database = pool[:40]
+        queries, small_detours, large_detours = [], [], []
+        for trajectory in pool:
+            small = make_detour(dataset.network, trajectory, DetourConfig(selection_proportion=0.2), rng=rng)
+            large = make_detour(dataset.network, trajectory, DetourConfig(selection_proportion=0.6), rng=rng)
+            if small is not None and large is not None:
+                queries.append(trajectory)
+                small_detours.append(small)
+                large_detours.append(large)
+            if len(queries) >= 8:
+                break
+        assert len(queries) >= 4
+        small_precision = evaluate_representation_knearest(model.encode, queries, small_detours, database, k=5)
+        large_precision = evaluate_representation_knearest(model.encode, queries, large_detours, database, k=5)
+        # The monotone trend (precision drops as detours grow) is a population
+        # statement verified at scale by the Figure 4 benchmark; here we only
+        # check both evaluations are well-formed.
+        assert 0.0 <= small_precision <= 1.0
+        assert 0.0 <= large_precision <= 1.0

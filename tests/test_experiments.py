@@ -1,0 +1,267 @@
+"""Smoke tests for the experiment runners (tiny scales, subsets of models).
+
+These tests check that every table/figure runner produces well-formed output;
+the full-scale regeneration of the paper's artefacts lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tiny_config
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    Figure3Settings,
+    Figure4Settings,
+    Figure6Settings,
+    Figure7Settings,
+    Figure8Settings,
+    Figure9Settings,
+    Figure10Settings,
+    TABLE2_MODELS,
+    Table2Settings,
+    Table3Settings,
+    best_pair,
+    format_figure1,
+    format_figure3,
+    format_figure4,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_series,
+    merge_reports,
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_table1,
+    run_table2,
+    run_table3,
+    summarize_winners,
+    experiment_dataset,
+)
+
+SMOKE_SCALE = 0.15
+SMOKE_CONFIG = tiny_config(batch_size=16)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text and "a" in text and "0.125" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        assert format_series("s", [1, 2], [0.1, 0.2]) == "s: 1: 0.100, 2: 0.200"
+
+    def test_merge_reports(self):
+        merged = merge_reports({"A": {"x": 1.0}, "": {"y": 2.0}})
+        assert merged == {"A x": 1.0, "y": 2.0}
+
+
+class TestDatasetsAndStats:
+    def test_experiment_dataset_cached(self):
+        first = experiment_dataset("synthetic-porto", scale=SMOKE_SCALE)
+        second = experiment_dataset("synthetic-porto", scale=SMOKE_SCALE)
+        assert first is second
+
+    def test_geolife_shares_bj_network(self):
+        bj = experiment_dataset("synthetic-bj", scale=SMOKE_SCALE)
+        geolife = experiment_dataset("synthetic-geolife", scale=SMOKE_SCALE)
+        assert geolife.network is bj.network
+
+    def test_table1_rows(self):
+        rows = run_table1(scale=SMOKE_SCALE)
+        assert {row["Dataset"] for row in rows} == {"synthetic-bj", "synthetic-porto"}
+        assert all(row["#Trajectory"] > 0 for row in rows)
+        assert "Table I" in format_table1(rows)
+
+    def test_figure1_structure(self):
+        result = run_figure1(scale=SMOKE_SCALE)
+        assert len(result["weekday_hourly_counts"]) == 24
+        assert len(result["daily_counts"]) == 7
+        assert result["interval_distribution"]["std_s"] > 0
+        assert 0.0 <= result["visit_frequencies"]["gini"] <= 1.0
+        assert "Figure 1" in format_figure1(result)
+
+    def test_figure1_shows_rush_hour_structure(self):
+        result = run_figure1(scale=0.3)
+        weekday = np.array(result["weekday_hourly_counts"], dtype=float)
+        assert weekday[7:10].sum() > weekday[0:3].sum()
+
+
+class TestTableRunners:
+    def test_table2_subset(self):
+        settings = Table2Settings(
+            scale=SMOKE_SCALE,
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            num_queries=5,
+            num_negatives=10,
+            models=("Trembr", "START"),
+            config=SMOKE_CONFIG,
+        )
+        rows = run_table2("synthetic-porto", settings)
+        assert [row["Model"] for row in rows] == ["Trembr", "START"]
+        for row in rows:
+            assert np.isfinite(row["ETA MAE"]) and row["SIM MR"] >= 1.0
+        winners = summarize_winners(rows)
+        assert set(winners.values()).issubset({"Trembr", "START"})
+        assert "Table II" in format_table2(rows)
+
+    def test_table2_model_order_matches_paper(self):
+        assert TABLE2_MODELS[-1] == "START"
+        assert TABLE2_MODELS[0] == "traj2vec"
+
+    def test_table3_structure(self):
+        settings = Table3Settings(
+            scale=SMOKE_SCALE, geolife_scale=0.3, pretrain_epochs=1, finetune_epochs=1, config=SMOKE_CONFIG
+        )
+        rows = run_table3(settings)
+        names = [row["Model"] for row in rows]
+        assert names == [
+            "No Pre-train Geolife",
+            "Pre-train Geolife",
+            "Porto-START",
+            "BJ-START",
+            "Porto-Trembr",
+            "BJ-Trembr",
+        ]
+        for row in rows:
+            assert np.isfinite(row["ETA MAE"])
+            assert 0.0 <= row["CLS Micro-F1"] <= 1.0
+        assert "Table III" in format_table3(rows)
+
+
+class TestFigureRunners:
+    def test_figure3(self):
+        settings = Figure3Settings(
+            scale=SMOKE_SCALE, pretrain_epochs=1, finetune_epochs=1, config=SMOKE_CONFIG
+        )
+        result = run_figure3(settings)
+        assert set(result["series"]) == {"START", "w/o Temporal", "Trembr"}
+        for series in result["series"].values():
+            assert len(series["weekday_by_hour"]) == len(result["hour_buckets"])
+            assert np.isfinite(series["overall"])
+        assert "Figure 3" in format_figure3(result)
+
+    def test_figure4(self):
+        settings = Figure4Settings(
+            scale=0.3,
+            pretrain_epochs=1,
+            proportions=(0.2, 0.4),
+            num_queries=5,
+            database_size=20,
+            models=("Trembr", "START"),
+            config=SMOKE_CONFIG,
+        )
+        result = run_figure4("synthetic-porto", settings)
+        assert set(result["precision"]) == {"Trembr", "START"}
+        for series in result["precision"].values():
+            assert len(series) == 2
+            assert all(0.0 <= value <= 1.0 for value in series)
+        assert "Figure 4" in format_figure4(result)
+
+    def test_figure6(self):
+        settings = Figure6Settings(
+            scale=SMOKE_SCALE, fractions=(0.5, 1.0), pretrain_epochs=1, finetune_epochs=1, config=SMOKE_CONFIG
+        )
+        result = run_figure6("synthetic-porto", settings)
+        assert len(result["train_sizes"]) == 2
+        for variant in ("Pre-train", "No Pre-train"):
+            assert len(result["eta_mape"][variant]) == 2
+            assert len(result["classification"][variant]) == 2
+        assert "Figure 6" in format_figure6(result)
+
+    def test_figure7_subset(self):
+        settings = Figure7Settings(
+            scale=SMOKE_SCALE,
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            num_queries=5,
+            num_negatives=10,
+            variants=("w/o Time Emb", "START"),
+            config=SMOKE_CONFIG,
+        )
+        rows = run_figure7("synthetic-porto", settings)
+        assert [row["Variant"] for row in rows] == ["w/o Time Emb", "START"]
+        assert "Figure 7" in format_figure7(rows)
+
+    def test_figure7_variant_list_matches_paper(self):
+        assert set(ABLATION_VARIANTS) >= {
+            "w/o TPE-GAT",
+            "w/ Node2vec",
+            "w/o TransProb",
+            "w/o Time Emb",
+            "w/o Time Interval",
+            "w/ Hop",
+            "w/o Log",
+            "w/o Adaptive",
+            "w/o Mask",
+            "w/o Contra",
+            "START",
+        }
+
+    def test_figure8_subset(self):
+        settings = Figure8Settings(
+            scale=SMOKE_SCALE,
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            augmentations=("shift", "mask"),
+            config=SMOKE_CONFIG,
+        )
+        result = run_figure8("synthetic-porto", settings)
+        assert ("shift", "mask") in result["mape_grid"]
+        assert result["mape_grid"][("shift", "mask")] == result["mape_grid"][("mask", "shift")]
+        assert best_pair(result) in result["mape_grid"]
+        assert "Figure 8" in format_figure8(result)
+
+    def test_figure9_subset(self):
+        settings = Figure9Settings(
+            scale=SMOKE_SCALE,
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            encoder_layers=(1,),
+            embedding_sizes=(16,),
+            batch_sizes=(16,),
+            config=SMOKE_CONFIG,
+        )
+        result = run_figure9("synthetic-porto", settings)
+        assert len(result["encoder_layers"]["scores"]) == 1
+        assert len(result["embedding_size"]["scores"]) == 1
+        assert len(result["batch_size"]["scores"]) == 1
+        assert "Figure 9" in format_figure9(result)
+
+    def test_figure10(self):
+        settings = Figure10Settings(
+            scale=0.3,
+            pretrain_epochs=1,
+            encode_sizes=(10, 20),
+            query_sizes=(4,),
+            deep_models=("START",),
+            inference_models=("Trembr", "START"),
+            classical_measures=("DTW",),
+            config=SMOKE_CONFIG,
+        )
+        result = run_figure10("synthetic-porto", settings)
+        inference = result["inference"]
+        assert set(inference["seconds"]) == {"Trembr", "START"}
+        for series in inference["seconds"].values():
+            assert len(series) == 2 and all(value >= 0 for value in series)
+        similarity = result["similarity"]
+        assert "START" in similarity["query_time"] and "DTW" in similarity["query_time"]
+        assert "Figure 10" in format_figure10(result)

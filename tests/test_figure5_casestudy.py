@@ -1,0 +1,42 @@
+"""Smoke test for the Figure 5 case-study runner (top-3 similar trajectories)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tiny_config
+from repro.experiments import (
+    Figure5Settings,
+    format_figure5,
+    run_figure5,
+    summarize_figure5,
+)
+
+
+def test_figure5_case_study_structure():
+    settings = Figure5Settings(
+        scale=0.3, pretrain_epochs=1, num_queries=2, database_size=30, top_k=3,
+        config=tiny_config(batch_size=16),
+    )
+    rows = run_figure5("synthetic-porto", settings)
+    # Two models x two queries x top-3 retrieved.
+    assert len(rows) == 2 * 2 * 3
+    assert {row["Model"] for row in rows} == {"START", "Trembr"}
+    for row in rows:
+        assert 1 <= row["Rank"] <= 3
+        assert 0.0 <= row["Road Jaccard"] <= 1.0
+        assert row["OD distance (m)"] >= 0.0
+    summary = summarize_figure5(rows)
+    assert set(summary) == {"START", "Trembr"}
+    assert all(np.isfinite(v) for v in summary.values())
+    assert "Figure 5" in format_figure5(rows)
+
+
+def test_figure5_requires_enough_data():
+    settings = Figure5Settings(
+        scale=0.3, pretrain_epochs=1, num_queries=5, database_size=10_000,
+        config=tiny_config(batch_size=16),
+    )
+    with pytest.raises(RuntimeError):
+        run_figure5("synthetic-porto", settings)

@@ -1,0 +1,169 @@
+"""Tests for HMM map matching, augmentation strategies and detour ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    AUGMENTATION_NAMES,
+    CongestionModel,
+    DemandConfig,
+    DetourConfig,
+    HMMMapMatcher,
+    MatchingConfig,
+    TrajectoryAugmenter,
+    TrajectoryGenerator,
+    build_similarity_benchmark,
+    historical_travel_times,
+    make_detour,
+)
+from repro.utils.seeding import get_rng
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_city(CityConfig(grid_rows=6, grid_cols=6, seed=4))
+
+
+@pytest.fixture(scope="module")
+def generation(network):
+    config = DemandConfig(num_drivers=6, num_days=5, trips_per_driver_per_day=3.0, seed=2)
+    generator = TrajectoryGenerator(network, CongestionModel(network), config)
+    return generator.generate(num_trajectories=60, emit_gps=True)
+
+
+class TestMapMatching:
+    def test_matching_recovers_most_roads(self, network, generation):
+        matcher = HMMMapMatcher(network, MatchingConfig(search_radius=80.0))
+        recovered = []
+        for raw, truth in list(zip(generation.raw_trajectories, generation.trajectories))[:10]:
+            matched = matcher.match(raw)
+            assert matched is not None
+            overlap = len(set(matched.roads) & set(truth.roads)) / len(set(truth.roads))
+            recovered.append(overlap)
+        assert np.mean(recovered) > 0.6
+
+    def test_matched_paths_have_no_consecutive_duplicates(self, network, generation):
+        matcher = HMMMapMatcher(network)
+        matched = matcher.match(generation.raw_trajectories[0])
+        assert all(a != b for a, b in zip(matched.roads, matched.roads[1:]))
+
+    def test_match_returns_none_when_far_away(self, network):
+        from repro.trajectory import GPSPoint, RawTrajectory
+
+        far = RawTrajectory(points=[GPSPoint(1e7, 1e7, 0.0), GPSPoint(1e7, 1e7, 10.0)])
+        assert HMMMapMatcher(network).match(far) is None
+
+    def test_match_many_drops_unmatchable(self, network, generation):
+        from repro.trajectory import GPSPoint, RawTrajectory
+
+        far = RawTrajectory(points=[GPSPoint(1e7, 1e7, 0.0)])
+        matcher = HMMMapMatcher(network)
+        results = matcher.match_many([generation.raw_trajectories[0], far])
+        assert len(results) == 1
+
+    def test_candidates_sorted_by_distance(self, network):
+        matcher = HMMMapMatcher(network)
+        point = np.array(network.segments[0].midpoint)
+        candidates = matcher.candidates(point)
+        assert candidates
+        distances = [d for _, d in candidates]
+        assert distances == sorted(distances)
+
+
+class TestAugmentation:
+    @pytest.fixture()
+    def augmenter(self, generation):
+        history = historical_travel_times(generation.trajectories)
+        return TrajectoryAugmenter(history, rng=get_rng(0))
+
+    def test_trim_removes_prefix_or_suffix(self, augmenter, generation):
+        trajectory = generation.trajectories[0]
+        view = augmenter.trim(trajectory)
+        assert 2 <= len(view) < len(trajectory)
+        # The trimmed view is a contiguous slice from one of the two ends.
+        joined = ",".join(map(str, view.roads))
+        original = ",".join(map(str, trajectory.roads))
+        assert joined in original
+
+    def test_temporal_shift_changes_times_not_roads(self, augmenter, generation):
+        max_deltas = []
+        for trajectory in generation.trajectories[:10]:
+            view = augmenter.temporal_shift(trajectory)
+            assert view.roads == trajectory.roads
+            deltas = np.abs(np.asarray(view.timestamps) - np.asarray(trajectory.timestamps))
+            # Departure time must never move.
+            assert deltas[0] == pytest.approx(0.0)
+            max_deltas.append(deltas.max())
+        # Across a handful of trajectories at least one visit time moves
+        # measurably (it can stay put when a road's historical average equals
+        # its current travel time).
+        assert max(max_deltas) > 0.5
+
+    def test_temporal_shift_preserves_monotonicity(self, augmenter, generation):
+        for trajectory in generation.trajectories[:10]:
+            view = augmenter.temporal_shift(trajectory)
+            assert (np.diff(view.timestamps) > 0).all()
+
+    def test_road_mask_marks_positions(self, augmenter, generation):
+        trajectory = generation.trajectories[2]
+        view = augmenter.road_mask(trajectory)
+        assert view.roads == trajectory.roads
+        assert len(view.mask_positions) >= 1
+        assert all(0 <= p < len(trajectory) for p in view.mask_positions)
+
+    def test_dropout_view_is_flagged(self, augmenter, generation):
+        view = augmenter.dropout(generation.trajectories[3])
+        assert view.use_embedding_dropout
+        assert view.roads == generation.trajectories[3].roads
+
+    def test_apply_dispatch_and_unknown(self, augmenter, generation):
+        trajectory = generation.trajectories[4]
+        for name in AUGMENTATION_NAMES:
+            view = augmenter.apply(trajectory, name)
+            assert len(view) >= 2
+        with pytest.raises(ValueError):
+            augmenter.apply(trajectory, "reverse")
+
+    def test_make_views_returns_pair(self, augmenter, generation):
+        first, second = augmenter.make_views(generation.trajectories[5], "mask", "dropout")
+        assert first.mask_positions and second.use_embedding_dropout
+
+    def test_historical_travel_times_positive(self, generation):
+        history = historical_travel_times(generation.trajectories)
+        assert history
+        assert all(value > 0 for value in history.values())
+
+
+class TestDetour:
+    def test_make_detour_changes_roads_same_od(self, network, generation):
+        rng = get_rng(3)
+        found = 0
+        for trajectory in generation.trajectories[:20]:
+            detour = make_detour(network, trajectory, DetourConfig(), rng=rng)
+            if detour is None:
+                continue
+            found += 1
+            assert detour.roads != trajectory.roads
+            assert detour.origin == trajectory.origin
+            assert detour.destination == trajectory.destination
+            assert (np.diff(detour.timestamps) > 0).all()
+        assert found >= 5
+
+    def test_detour_too_short_returns_none(self, network):
+        from repro.trajectory import Trajectory
+
+        tiny = Trajectory(roads=[0, 1, 2], timestamps=[0.0, 1.0, 2.0])
+        assert make_detour(network, tiny) is None
+
+    def test_benchmark_structure(self, network, generation):
+        benchmark = build_similarity_benchmark(
+            network, generation.trajectories, num_queries=8, num_negatives=20, rng=get_rng(0)
+        )
+        assert len(benchmark.queries) <= 8
+        assert len(benchmark.queries) >= 4
+        assert len(benchmark.database) >= len(benchmark.queries)
+        for query_index, db_index in benchmark.ground_truth.items():
+            assert benchmark.database[db_index].metadata["detour_of"] == benchmark.queries[query_index].trajectory_id

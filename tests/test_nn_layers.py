@@ -1,0 +1,251 @@
+"""Tests for modules, layers, attention and recurrent encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    BiGRU,
+    Dropout,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadSelfAttention,
+    Parameter,
+    PositionalEncoding,
+    Sequential,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.utils.seeding import get_rng
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear1 = Linear(4, 8, rng=get_rng(0))
+        self.linear2 = Linear(8, 2, rng=get_rng(1))
+
+    def forward(self, x):
+        return self.linear2(self.linear1(x).relu())
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        model = TinyModel()
+        names = [name for name, _ in model.named_parameters()]
+        assert "linear1.weight" in names and "linear2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        model = TinyModel()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(3, 3), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq)
+
+    def test_state_dict_roundtrip(self):
+        model_a = TinyModel()
+        model_b = TinyModel()
+        model_b.load_state_dict(model_a.state_dict())
+        np.testing.assert_allclose(model_a.linear1.weight.data, model_b.linear1.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["linear1.weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_strict_missing(self):
+        model = TinyModel()
+        state = model.state_dict()
+        del state["linear2.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+        model.load_state_dict(state, strict=False)
+
+    def test_zero_grad(self):
+        model = TinyModel()
+        out = model(Tensor(np.ones((2, 4), dtype=np.float32))).sum()
+        out.backward()
+        assert model.linear1.weight.grad is not None
+        model.zero_grad()
+        assert model.linear1.weight.grad is None
+
+    def test_module_list(self):
+        layers = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.named_parameters())) == 6
+
+
+class TestLinearEmbedding:
+    def test_linear_shapes(self):
+        layer = Linear(5, 7, rng=get_rng(0))
+        out = layer(Tensor(np.ones((3, 5), dtype=np.float32)))
+        assert out.shape == (3, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(5, 7, bias=False, rng=get_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_gradient_flows(self):
+        layer = Linear(3, 2, rng=get_rng(0))
+        out = layer(Tensor(np.ones((4, 3), dtype=np.float32))).sum()
+        out.backward()
+        assert layer.weight.grad.shape == (3, 2)
+        np.testing.assert_allclose(layer.bias.grad, 4 * np.ones(2))
+
+    def test_embedding_lookup_shape(self):
+        emb = Embedding(10, 6, rng=get_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_embedding_padding_idx_zero_init(self):
+        emb = Embedding(10, 6, padding_idx=0, rng=get_rng(0))
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(6))
+
+
+class TestNormalizationDropout:
+    def test_layernorm_statistics(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 16)).astype(np.float32) * 5 + 3)
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_layernorm_gradients(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 8)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None and layer.gamma.grad is not None
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5, rng=get_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        layer = Dropout(0.5, rng=get_rng(0))
+        x = Tensor(np.ones((200, 200)))
+        out = layer(x).data
+        # Kept entries are scaled by 1/(1-p) = 2, expectation stays ~1.
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestPositionalEncodingFFN:
+    def test_positional_encoding_shape_and_range(self):
+        pe = PositionalEncoding(16, max_len=64)
+        x = Tensor(np.zeros((2, 10, 16), dtype=np.float32))
+        out = pe(x).data
+        assert out.shape == (2, 10, 16)
+        assert np.abs(out).max() <= 1.0 + 1e-6
+
+    def test_positional_encoding_distinct_positions(self):
+        pe = PositionalEncoding(32, max_len=16)
+        table = pe.encoding(16)
+        assert not np.allclose(table[0], table[5])
+
+    def test_positional_encoding_too_long(self):
+        pe = PositionalEncoding(8, max_len=4)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 10, 8), dtype=np.float32)))
+
+    def test_feedforward_shapes(self):
+        ffn = FeedForward(12, 24, rng=get_rng(0))
+        ffn.eval()
+        out = ffn(Tensor(np.ones((2, 5, 12), dtype=np.float32)))
+        assert out.shape == (2, 5, 12)
+
+
+class TestAttention:
+    def test_attention_output_shape(self):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 6, 16)
+
+    def test_attention_weights_are_distributions(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((1, 5, 8)).astype(np.float32))
+        _, weights = attn(x, return_weights=True)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((1, 5)), rtol=1e-5)
+
+    def test_attention_respects_padding_mask(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 4, 8)).astype(np.float32))
+        mask = np.array([[False, False, True, True]])
+        _, weights = attn(x, key_padding_mask=mask, return_weights=True)
+        np.testing.assert_allclose(weights.data[0, :, 2:], np.zeros((4, 2)), atol=1e-6)
+
+    def test_attention_bias_shifts_weights(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(3).standard_normal((1, 3, 8)).astype(np.float32))
+        bias = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        bias[..., 0] = 50.0  # force everyone to attend to position 0
+        _, weights = attn(x, attention_bias=Tensor(bias), return_weights=True)
+        np.testing.assert_allclose(weights.data[0, :, 0], np.ones(3), atol=1e-3)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_encoder_layer_and_stack(self):
+        encoder = TransformerEncoder(16, 4, num_layers=2, dropout=0.0, rng=get_rng(0))
+        encoder.eval()
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 7, 16)).astype(np.float32))
+        out = encoder(x)
+        assert out.shape == (2, 7, 16)
+
+    def test_encoder_layer_gradients_reach_all_parameters(self):
+        layer = TransformerEncoderLayer(8, 2, dropout=0.0, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 8)).astype(np.float32))
+        layer(x).sum().backward()
+        missing = [name for name, p in layer.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestRecurrent:
+    def test_gru_shapes(self):
+        gru = GRU(6, 12, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5, 6)).astype(np.float32))
+        all_h, final = gru(x)
+        assert all_h.shape == (3, 5, 12)
+        assert final.shape == (3, 12)
+
+    def test_gru_respects_lengths(self):
+        gru = GRU(4, 8, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 4)).astype(np.float32))
+        all_h, final = gru(x, lengths=np.array([3, 6]))
+        np.testing.assert_allclose(final.data[0], all_h.data[0, 2], atol=1e-6)
+        np.testing.assert_allclose(final.data[1], all_h.data[1, 5], atol=1e-6)
+
+    def test_lstm_shapes_and_grads(self):
+        lstm = LSTM(5, 7, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 4, 5)).astype(np.float32), requires_grad=True)
+        _, final = lstm(x)
+        final.sum().backward()
+        assert x.grad is not None
+        assert final.shape == (2, 7)
+
+    def test_bigru_concatenates_directions(self):
+        bigru = BiGRU(4, 6, rng=get_rng(0))
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 5, 4)).astype(np.float32))
+        outputs, final = bigru(x)
+        assert outputs.shape == (2, 5, 12)
+        assert final.shape == (2, 12)

@@ -1,0 +1,243 @@
+"""Tests for losses, optimizers, schedulers, batching and checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    BatchIterator,
+    ConstantSchedule,
+    Linear,
+    Module,
+    Parameter,
+    StepDecaySchedule,
+    Tensor,
+    WarmupCosineSchedule,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    cosine_similarity_matrix,
+    cross_entropy,
+    info_nce_loss,
+    load_checkpoint,
+    mae_loss,
+    mse_loss,
+    nt_xent_loss,
+    pad_sequences,
+    save_checkpoint,
+)
+from repro.utils.seeding import get_rng
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]], dtype=np.float32))
+        loss = cross_entropy(logits, np.array([0, 1])).item()
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert loss == pytest.approx(expected, rel=1e-4)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 5.0], [1.0, 1.0]], dtype=np.float32))
+        full = cross_entropy(logits, np.array([0, 1, -100]), ignore_index=-100).item()
+        partial = cross_entropy(
+            Tensor(logits.data[:2]), np.array([0, 1])
+        ).item()
+        assert full == pytest.approx(partial, rel=1e-5)
+
+    def test_cross_entropy_all_ignored_is_zero(self):
+        logits = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        loss = cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+        assert loss.item() == pytest.approx(0.0)
+        loss.backward()  # must not blow up
+
+    def test_cross_entropy_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4), dtype=np.float32)), np.zeros(2))
+
+    def test_mse_and_mae(self):
+        preds = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        targets = np.array([2.0, 2.0, 5.0])
+        assert mse_loss(preds, targets).item() == pytest.approx((1 + 0 + 4) / 3)
+        assert mae_loss(preds, targets).item() == pytest.approx((1 + 0 + 2) / 3)
+
+    def test_bce_with_logits(self):
+        logits = Tensor(np.array([100.0, -100.0], dtype=np.float32))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0])).item()
+        assert loss == pytest.approx(0.0, abs=1e-4)
+
+    def test_cosine_similarity_matrix(self):
+        a = Tensor(np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32))
+        sim = cosine_similarity_matrix(a, a).data
+        np.testing.assert_allclose(np.diag(sim), np.ones(2), atol=1e-5)
+        assert sim[0, 1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_nt_xent_prefers_aligned_pairs(self):
+        rng = np.random.default_rng(0)
+        anchor = rng.standard_normal((8, 16)).astype(np.float32)
+        aligned = nt_xent_loss(Tensor(anchor), Tensor(anchor + 0.01)).item()
+        shuffled = nt_xent_loss(Tensor(anchor), Tensor(anchor[::-1].copy())).item()
+        assert aligned < shuffled
+
+    def test_nt_xent_temperature_effect(self):
+        rng = np.random.default_rng(1)
+        anchor = Tensor(rng.standard_normal((6, 8)).astype(np.float32))
+        positive = Tensor(rng.standard_normal((6, 8)).astype(np.float32))
+        sharp = nt_xent_loss(anchor, positive, temperature=0.05).item()
+        smooth = nt_xent_loss(anchor, positive, temperature=5.0).item()
+        assert sharp != pytest.approx(smooth)
+
+    def test_nt_xent_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            nt_xent_loss(Tensor(np.ones((1, 4))), Tensor(np.ones((1, 4))))
+
+    def test_nt_xent_gradient_flows(self):
+        anchor = Tensor(np.random.default_rng(0).standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        positive = Tensor(np.random.default_rng(1).standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        nt_xent_loss(anchor, positive).backward()
+        assert anchor.grad is not None and positive.grad is not None
+
+    def test_info_nce(self):
+        keys = Tensor(np.eye(4, dtype=np.float32))
+        query = Tensor(np.eye(4, dtype=np.float32) * 5)
+        loss = info_nce_loss(query, keys, np.arange(4)).item()
+        mismatched = info_nce_loss(query, keys, np.array([1, 2, 3, 0])).item()
+        assert loss < mismatched
+
+
+class _Quadratic(Module):
+    """f(w) = ||w - target||^2, minimised at w == target."""
+
+    def __init__(self, target: np.ndarray):
+        super().__init__()
+        self.weight = Parameter(np.zeros_like(target))
+        self.target = target
+
+    def loss(self) -> Tensor:
+        diff = self.weight - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.2}),
+        (AdamW, {"lr": 0.2, "weight_decay": 0.0}),
+    ])
+    def test_converges_on_quadratic(self, optimizer_cls, kwargs):
+        target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        model = _Quadratic(target)
+        optimizer = optimizer_cls(model.parameters(), **kwargs)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = model.loss()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(model.weight.data, target, atol=0.05)
+
+    def test_adamw_weight_decay_shrinks_weights(self):
+        param = Parameter(np.ones(4, dtype=np.float32) * 10)
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(4, dtype=np.float32)
+        optimizer.step()
+        assert (param.data < 10).all()
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        param.grad = np.array([3.0, 4.0, 0.0], dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_step_skips_params_without_grad(self):
+        param = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = SGD([param], lr=0.5)
+        optimizer.step()  # no grad accumulated yet
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(self._optimizer())
+        assert [schedule.step() for _ in range(3)] == [1.0, 1.0, 1.0]
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(self._optimizer(), step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1])
+
+    def test_warmup_cosine_shape(self):
+        schedule = WarmupCosineSchedule(self._optimizer(), warmup_steps=5, total_steps=20)
+        lrs = [schedule.step() for _ in range(25)]
+        assert lrs[4] == pytest.approx(1.0)
+        assert all(lrs[i] <= lrs[i + 1] + 1e-9 for i in range(4))      # warm-up rises
+        assert all(lrs[i] >= lrs[i + 1] - 1e-9 for i in range(5, 24))  # cosine decays
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-6)                 # clamped past total_steps
+
+    def test_warmup_cosine_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(self._optimizer(), warmup_steps=10, total_steps=5)
+
+
+class TestBatchingAndPadding:
+    def test_pad_sequences_basic(self):
+        padded, lengths, mask = pad_sequences([[1, 2, 3], [4]], pad_value=0)
+        np.testing.assert_array_equal(padded, [[1, 2, 3], [4, 0, 0]])
+        np.testing.assert_array_equal(lengths, [3, 1])
+        np.testing.assert_array_equal(mask, [[False, False, False], [False, True, True]])
+
+    def test_pad_sequences_truncates(self):
+        padded, lengths, _ = pad_sequences([[1, 2, 3, 4, 5]], max_len=3)
+        np.testing.assert_array_equal(padded, [[1, 2, 3]])
+        assert lengths[0] == 3
+
+    def test_batch_iterator_covers_all(self):
+        iterator = BatchIterator(10, batch_size=3, shuffle=True, rng=get_rng(0))
+        seen = np.concatenate(list(iterator))
+        assert sorted(seen.tolist()) == list(range(10))
+        assert len(iterator) == 4
+
+    def test_batch_iterator_drop_last(self):
+        iterator = BatchIterator(10, batch_size=3, shuffle=False, drop_last=True)
+        batches = list(iterator)
+        assert len(batches) == 3 and all(len(b) == 3 for b in batches)
+
+    def test_batch_iterator_invalid(self):
+        with pytest.raises(ValueError):
+            BatchIterator(10, batch_size=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=8)
+    )
+    def test_property_padding_mask_matches_lengths(self, lengths):
+        sequences = [list(range(n)) for n in lengths]
+        _, out_lengths, mask = pad_sequences(sequences)
+        np.testing.assert_array_equal(out_lengths, lengths)
+        np.testing.assert_array_equal((~mask).sum(axis=1), lengths)
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, tmp_path):
+        model_a = Linear(4, 3, rng=get_rng(0))
+        model_b = Linear(4, 3, rng=get_rng(99))
+        path = save_checkpoint(model_a, tmp_path / "model.ckpt", metadata={"epoch": 7})
+        meta = load_checkpoint(model_b, path)
+        assert meta == {"epoch": 7}
+        np.testing.assert_allclose(model_a.weight.data, model_b.weight.data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(Linear(2, 2), tmp_path / "nope.ckpt")

@@ -1,0 +1,322 @@
+"""Unit and property-based tests for the autodiff tensor engine.
+
+Gradients of every differentiable op are compared against central finite
+differences — this is what ties the NumPy substrate to ground truth in place
+of PyTorch's battle-tested autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    embedding_lookup,
+    masked_fill,
+    no_grad,
+    stack,
+    unbroadcast,
+    where,
+)
+
+
+def numeric_grad(func, array: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued ``func``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(array)
+        flat[i] = original - eps
+        minus = func(array)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, rtol=1e-2, atol=1e-3, seed=0):
+    """Compare autodiff gradient vs finite differences for one input tensor."""
+    rng = np.random.default_rng(seed)
+    array = rng.standard_normal(shape).astype(np.float64)
+
+    tensor = Tensor(array.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad.astype(np.float64)
+
+    numeric = numeric_grad(lambda a: float(build_loss(Tensor(a)).data), array)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_forward(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3.0 * np.ones(4))
+
+    def test_mul_grad(self):
+        check_gradient(lambda t: (t * t * 3.0).sum(), (4, 3))
+
+    def test_div_grad(self):
+        check_gradient(lambda t: (t / 2.5 + 1.0 / (t + 10.0)).sum(), (5,))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda t: (-(t - 2.0) * 0.5).sum(), (3, 2))
+
+    def test_pow_grad(self):
+        check_gradient(lambda t: ((t * t) ** 1.5).sum(), (4,), seed=3)
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((1.0 - a).data, [-1.0, -3.0])
+        np.testing.assert_allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_matmul_2d_grad(self):
+        rng = np.random.default_rng(0)
+        b_fixed = rng.standard_normal((3, 2)).astype(np.float32)
+
+        def loss(t):
+            return (t @ Tensor(b_fixed)).sum()
+
+        check_gradient(loss, (4, 3))
+
+    def test_matmul_batched_grad(self):
+        rng = np.random.default_rng(1)
+        other = Tensor(rng.standard_normal((2, 4, 3)).astype(np.float32))
+        check_gradient(lambda t: (t @ other).sum(), (2, 5, 4))
+
+    def test_matmul_vector(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        v = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32), requires_grad=True)
+        out = (a @ v).sum()
+        out.backward()
+        assert a.grad.shape == (2, 3)
+        assert v.grad.shape == (3,)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name",
+        ["exp", "tanh", "sigmoid", "relu", "leaky_relu", "elu", "gelu", "abs", "sqrt"],
+    )
+    def test_unary_gradients(self, name):
+        def loss(t):
+            if name == "sqrt":
+                t = t * t + 1.0  # keep strictly positive
+            return getattr(t, name)().sum()
+
+        check_gradient(loss, (4, 3), seed=7)
+
+    def test_log_grad(self):
+        check_gradient(lambda t: ((t * t) + 0.5).log().sum(), (5,))
+
+    def test_clip(self):
+        t = Tensor(np.array([-2.0, 0.5, 3.0], dtype=np.float32), requires_grad=True)
+        out = t.clip(-1.0, 1.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_grad(self):
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), (3, 4))
+
+    def test_mean_grad(self):
+        check_gradient(lambda t: (t.mean(axis=0) * 3.0).sum(), (6, 2))
+
+    def test_max_grad(self):
+        t = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]], dtype=np.float32), requires_grad=True)
+        out = t.max(axis=1).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_min(self):
+        t = Tensor(np.array([3.0, -1.0, 2.0]))
+        assert t.min().item() == pytest.approx(-1.0)
+
+    def test_var(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((4, 6)).astype(np.float32)
+        t = Tensor(data)
+        np.testing.assert_allclose(t.var(axis=1).data, data.var(axis=1), rtol=1e-5)
+
+    def test_reshape_transpose_grad(self):
+        check_gradient(lambda t: (t.reshape(6, 2).transpose() * 2.0).sum(), (3, 4))
+
+    def test_swapaxes(self):
+        t = Tensor(np.arange(24, dtype=np.float32).reshape(2, 3, 4))
+        assert t.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_grad(self):
+        t = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        out = t[1:, :2].sum()
+        out.backward()
+        expected = np.zeros((3, 4))
+        expected[1:, :2] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_expand_squeeze(self):
+        t = Tensor(np.ones((3, 4)), requires_grad=True)
+        out = t.expand_dims(1).squeeze(1).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, np.ones((3, 4)))
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(np.random.default_rng(0).standard_normal((5, 7)).astype(np.float32))
+        np.testing.assert_allclose(t.softmax(axis=-1).data.sum(axis=-1), np.ones(5), rtol=1e-5)
+
+    def test_softmax_grad(self):
+        check_gradient(lambda t: (t.softmax(axis=-1) ** 2).sum(), (3, 5))
+
+    def test_log_softmax_grad(self):
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * 0.3).sum(), (4, 6))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        t = Tensor(np.random.default_rng(2).standard_normal((3, 9)).astype(np.float32))
+        np.testing.assert_allclose(
+            t.log_softmax(axis=-1).data, np.log(t.softmax(axis=-1).data + 1e-12), atol=1e-5
+        )
+
+    def test_softmax_stability_with_large_values(self):
+        t = Tensor(np.array([[1000.0, 1000.0, -1000.0]], dtype=np.float32))
+        out = t.softmax(axis=-1).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], atol=1e-5)
+
+
+class TestCombinators:
+    def test_concatenate_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, 2 * np.ones((2, 2)))
+
+    def test_stack_grad(self):
+        parts = [Tensor(np.full((3,), float(i)), requires_grad=True) for i in range(4)]
+        out = stack(parts, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for part in parts:
+            np.testing.assert_allclose(part.grad, np.ones(3))
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_masked_fill(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = masked_fill(t, mask, -99.0)
+        np.testing.assert_allclose(out.data, [[-99.0, 1.0], [1.0, -99.0]])
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_embedding_lookup_accumulates_repeats(self):
+        weight = Tensor(np.eye(4, dtype=np.float32), requires_grad=True)
+        indices = np.array([1, 1, 3])
+        out = embedding_lookup(weight, indices)
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [2.0, 2.0, 2.0, 2.0])
+        np.testing.assert_allclose(weight.grad[3], [1.0, 1.0, 1.0, 1.0])
+        np.testing.assert_allclose(weight.grad[0], np.zeros(4))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_for_shared_tensor(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = (t * 3.0) + (t * 4.0)
+        out.backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_no_grad_context(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_item_and_len(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+
+    def test_constructors(self):
+        assert Tensor.zeros((2, 2)).data.sum() == 0
+        assert Tensor.ones((2, 2)).data.sum() == 4
+        assert Tensor.randn((3, 3), rng=np.random.default_rng(0)).shape == (3, 3)
+
+
+class TestUnbroadcast:
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols))
+        assert unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert unbroadcast(grad, (cols,)).shape == (cols,)
+        assert unbroadcast(grad, (rows, cols)).shape == (rows, cols)
+
+    def test_unbroadcast_sums_expanded_axes(self):
+        grad = np.ones((5, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (3,)), 5 * np.ones(3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=2, max_size=12
+    )
+)
+def test_property_softmax_is_distribution(data):
+    t = Tensor(np.array(data, dtype=np.float32))
+    probs = t.softmax(axis=-1).data
+    assert probs.min() >= 0
+    assert probs.sum() == pytest.approx(1.0, abs=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4)
+    )
+)
+def test_property_sum_grad_is_ones(shape):
+    t = Tensor(np.random.default_rng(0).standard_normal(shape).astype(np.float32), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones(shape))

@@ -1,0 +1,238 @@
+"""Tests for the road-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet import (
+    ROAD_TYPES,
+    CityConfig,
+    RoadNetwork,
+    RoadSegment,
+    feature_dimension,
+    generate_city,
+    generate_city_pair,
+    k_shortest_paths,
+    load_network,
+    path_cost,
+    road_feature_matrix,
+    save_network,
+    shortest_path,
+    shortest_path_length,
+)
+
+
+def tiny_network() -> RoadNetwork:
+    """A 4-road chain with a shortcut: 0 -> 1 -> 2 -> 3 and 0 -> 3 (long)."""
+    segments = [
+        RoadSegment(0, (0, 0), (100, 0), "primary", max_speed=60),
+        RoadSegment(1, (100, 0), (200, 0), "primary", max_speed=60),
+        RoadSegment(2, (200, 0), (300, 0), "primary", max_speed=60),
+        RoadSegment(3, (300, 0), (400, 0), "primary", max_speed=60),
+        RoadSegment(4, (100, 0), (300, 0), "residential", length=500.0, max_speed=30),
+    ]
+    edges = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]
+    return RoadNetwork(segments, edges)
+
+
+class TestRoadSegment:
+    def test_length_computed_from_geometry(self):
+        seg = RoadSegment(0, (0, 0), (30, 40))
+        assert seg.length == pytest.approx(50.0)
+
+    def test_explicit_length_kept(self):
+        seg = RoadSegment(0, (0, 0), (30, 40), length=120.0)
+        assert seg.length == 120.0
+
+    def test_free_flow_travel_time(self):
+        seg = RoadSegment(0, (0, 0), (100, 0), max_speed=36.0)  # 10 m/s
+        assert seg.free_flow_travel_time() == pytest.approx(10.0)
+
+    def test_midpoint(self):
+        seg = RoadSegment(0, (0, 0), (10, 20))
+        assert seg.midpoint == (5.0, 10.0)
+
+
+class TestRoadNetwork:
+    def test_sizes_and_lookup(self):
+        net = tiny_network()
+        assert net.num_roads == 5
+        assert net.num_edges == 5
+        assert net.segment(4).road_type == "residential"
+        assert 4 in net and 99 not in net
+
+    def test_successors_predecessors_degrees(self):
+        net = tiny_network()
+        assert set(net.successors(0)) == {1, 4}
+        assert net.predecessors(3) == [2, 4]
+        assert net.out_degree(0) == 2
+        assert net.in_degree(0) == 0
+
+    def test_adjacency_matrix(self):
+        net = tiny_network()
+        adj = net.adjacency_matrix()
+        assert adj.shape == (5, 5)
+        assert adj.sum() == 5
+        assert adj[0, 1] == 1 and adj[1, 0] == 0
+
+    def test_edge_index_shape(self):
+        assert tiny_network().edge_index().shape == (2, 5)
+
+    def test_duplicate_and_self_edges_ignored(self):
+        segments = [RoadSegment(0, (0, 0), (1, 0)), RoadSegment(1, (1, 0), (2, 0))]
+        net = RoadNetwork(segments, [(0, 1), (0, 1), (0, 0)])
+        assert net.num_edges == 1
+
+    def test_invalid_edge_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([RoadSegment(0, (0, 0), (1, 0))], [(0, 7)])
+
+    def test_duplicate_road_id_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([RoadSegment(0, (0, 0), (1, 0)), RoadSegment(0, (1, 0), (2, 0))], [])
+
+    def test_validate_path(self):
+        net = tiny_network()
+        assert net.validate_path([0, 1, 2, 3])
+        assert net.validate_path([0, 4, 3])
+        assert not net.validate_path([0, 2])
+
+    def test_subgraph(self):
+        net = tiny_network()
+        sub = net.subgraph({0, 1, 2})
+        assert sub.num_roads == 3
+        assert sub.num_edges == 2
+
+    def test_describe(self):
+        stats = tiny_network().describe()
+        assert stats["num_roads"] == 5
+        assert stats["total_length_km"] > 0
+
+
+class TestShortestPaths:
+    def test_shortest_path_prefers_short_route(self):
+        net = tiny_network()
+        path, cost = shortest_path(net, 0, 3, weight="length")
+        assert path == [0, 1, 2, 3]
+        assert cost == pytest.approx(400.0)
+
+    def test_shortest_path_length(self):
+        net = tiny_network()
+        assert shortest_path_length(net, 0, 3) == pytest.approx(400.0)
+
+    def test_no_path_raises(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            shortest_path(net, 3, 0)
+
+    def test_unknown_road_raises(self):
+        with pytest.raises(ValueError):
+            shortest_path(tiny_network(), 0, 42)
+
+    def test_k_shortest_paths_returns_alternatives(self):
+        net = tiny_network()
+        paths = k_shortest_paths(net, 0, 3, k=3)
+        assert len(paths) == 2  # only two loopless routes exist
+        assert paths[0][0] == [0, 1, 2, 3]
+        assert paths[1][0] == [0, 4, 3]
+        assert paths[0][1] <= paths[1][1]
+
+    def test_k_shortest_paths_k_validation(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(tiny_network(), 0, 3, k=0)
+
+    def test_k_shortest_paths_disconnected(self):
+        assert k_shortest_paths(tiny_network(), 3, 0, k=2) == []
+
+    def test_path_cost(self):
+        net = tiny_network()
+        assert path_cost(net, [0, 1]) == pytest.approx(200.0)
+
+    def test_time_weight_uses_speed(self):
+        net = tiny_network()
+        length_path, _ = shortest_path(net, 0, 3, weight="length")
+        time_path, _ = shortest_path(net, 0, 3, weight="time")
+        assert length_path == time_path == [0, 1, 2, 3]
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            shortest_path(tiny_network(), 0, 3, weight="bananas")
+
+
+class TestGenerator:
+    def test_generated_city_is_reasonable(self):
+        net = generate_city(CityConfig(grid_rows=6, grid_cols=6, seed=3))
+        assert net.num_roads > 30
+        assert net.num_edges > net.num_roads  # connectivity between segments
+        stats = net.describe()
+        assert stats["mean_out_degree"] > 1.0
+
+    def test_generated_city_deterministic(self):
+        config = CityConfig(grid_rows=5, grid_cols=5, seed=11)
+        net_a = generate_city(config)
+        net_b = generate_city(config)
+        assert net_a.num_roads == net_b.num_roads
+        assert net_a.edges == net_b.edges
+
+    def test_generated_city_has_mixed_road_types(self):
+        net = generate_city(CityConfig(grid_rows=8, grid_cols=8, seed=0))
+        types = {seg.road_type for seg in net.segments}
+        assert "primary" in types and "residential" in types
+        assert types.issubset(set(ROAD_TYPES))
+
+    def test_city_pair_sizes(self):
+        bj, porto = generate_city_pair(seed=0)
+        assert bj.num_roads > porto.num_roads
+
+    def test_most_roads_reachable(self):
+        net = generate_city(CityConfig(grid_rows=6, grid_cols=6, seed=5))
+        source = net.road_ids()[0]
+        reachable = 0
+        for target in net.road_ids()[1:30]:
+            try:
+                shortest_path(net, source, target)
+                reachable += 1
+            except ValueError:
+                pass
+        assert reachable >= 25
+
+
+class TestFeaturesAndIO:
+    def test_feature_matrix_shape(self):
+        net = tiny_network()
+        features = road_feature_matrix(net)
+        assert features.shape == (5, feature_dimension())
+
+    def test_feature_matrix_one_hot(self):
+        net = tiny_network()
+        features = road_feature_matrix(net, normalize=False)
+        one_hot = features[:, : len(ROAD_TYPES)]
+        np.testing.assert_allclose(one_hot.sum(axis=1), np.ones(5))
+
+    def test_feature_matrix_normalised(self):
+        net = generate_city(CityConfig(grid_rows=5, grid_cols=5, seed=2))
+        features = road_feature_matrix(net)
+        numeric = features[:, len(ROAD_TYPES):]
+        np.testing.assert_allclose(numeric.mean(axis=0), np.zeros(5), atol=1e-4)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        net = tiny_network()
+        save_network(net, tmp_path / "net")
+        loaded = load_network(tmp_path / "net")
+        assert loaded.num_roads == net.num_roads
+        assert loaded.edges == net.edges
+        assert loaded.segment(4).length == pytest.approx(500.0)
+        assert loaded.segment(0).road_type == "primary"
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.integers(min_value=3, max_value=7), cols=st.integers(min_value=3, max_value=7))
+def test_property_generated_network_edges_reference_valid_roads(rows, cols):
+    net = generate_city(CityConfig(grid_rows=rows, grid_cols=cols, seed=rows * 10 + cols))
+    ids = set(net.road_ids())
+    assert all(a in ids and b in ids for a, b in net.edges)
+    # Road ids are dense 0..N-1.
+    assert ids == set(range(net.num_roads))
