@@ -6,21 +6,40 @@ and 10: a fleet operator wants to find, for a query trip, the most similar
 trip in a large historical database — for example to spot drivers taking
 unnecessary detours or to identify popular routes.
 
-The script compares three ways of answering the query:
+The script walks the full serving path introduced in ``repro.serving``:
 
-* START representations + Euclidean distance (fast, learned);
-* Trembr representations (the strongest baseline);
-* classical pairwise measures (DTW / Fréchet), which are accurate on raw
-  geometry but orders of magnitude slower.
+1. pre-train START and materialise the database into an
+   :class:`~repro.serving.EmbeddingStore` (length-bucketed batch encoding);
+2. persist the store to disk and load it back — a serving replica never
+   needs the model, only the npz archive;
+3. answer most-similar queries through a
+   :class:`~repro.serving.SimilarityIndex` (chunked float32 distances +
+   ``argpartition`` top-k) and cross-check against the brute-force
+   full-distance-matrix path;
+4. compare with the strongest learned baseline (Trembr) and with classical
+   pairwise measures (DTW / Fréchet), which are accurate on raw geometry but
+   orders of magnitude slower.
 
 Run:  python examples/similarity_search.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
 from repro.baselines import build_baseline
 from repro.core import Pretrainer, STARTModel, small_config
-from repro.eval import evaluate_classical_search, evaluate_representation_search
+from repro.eval import (
+    euclidean_distance_matrix,
+    evaluate_classical_search,
+    evaluate_representation_search,
+    most_similar_search_report,
+    search_report_on_index,
+)
+from repro.serving import EmbeddingStore
 from repro.trajectory import build_dataset, build_similarity_benchmark
 from repro.utils.seeding import get_rng, seed_everything
 from repro.utils.timer import Timer
@@ -45,22 +64,49 @@ def main() -> None:
     # START, used directly from pre-training (no fine-tuning).
     start = STARTModel.from_dataset(dataset, config)
     Pretrainer(start, config).pretrain(dataset.train_trajectories(), epochs=5, verbose=False)
-    with Timer() as start_timer:
-        start_report = evaluate_representation_search(start.encode, benchmark)
-    print(f"START      {start_report}  ({start_timer.elapsed:.2f}s)")
 
-    # Trembr, the strongest baseline in the paper.
+    # ----- Serving path: encode once, persist, reload, query the index. -----
+    with Timer() as encode_timer:
+        database_store = EmbeddingStore.build(
+            start.encode, benchmark.database, metadata={"model": "START", "dataset": "synthetic-porto"}
+        )
+    print(
+        f"embedding store: {len(database_store)} x {database_store.dim} vectors "
+        f"encoded in {encode_timer.elapsed:.2f}s"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        saved_path = database_store.save(Path(tmp) / "porto_database.npz")
+        database_store = EmbeddingStore.load(saved_path)
+        print(f"store round trip: {saved_path.name}, metadata={database_store.metadata}")
+
+    index = database_store.index()
+    query_vectors = np.asarray(start.encode(benchmark.queries))
+
+    with Timer() as index_timer:
+        top5 = index.topk(query_vectors, k=5)
+        start_report = search_report_on_index(index, query_vectors, benchmark.ground_truth)
+    print(f"START/index  {start_report}  ({index_timer.elapsed*1000:.1f}ms)")
+
+    # Brute-force cross-check: full distance matrix + full argsort per query.
+    with Timer() as brute_timer:
+        distances = euclidean_distance_matrix(query_vectors, database_store.vectors)
+        brute_top5 = np.argsort(distances, axis=1, kind="stable")[:, :5]
+        brute_report = most_similar_search_report(distances, benchmark.ground_truth)
+    agrees = bool((brute_top5 == top5.indices).all())
+    print(f"START/brute  {brute_report}  ({brute_timer.elapsed*1000:.1f}ms, top-5 agree: {agrees})")
+
+    # Trembr, the strongest baseline in the paper, through the same harness.
     trembr = build_baseline("Trembr", dataset.network, config)
     trembr.pretrain(dataset.train_trajectories(), epochs=5)
     with Timer() as trembr_timer:
         trembr_report = evaluate_representation_search(trembr.encode, benchmark)
-    print(f"Trembr     {trembr_report}  ({trembr_timer.elapsed:.2f}s)")
+    print(f"Trembr       {trembr_report}  ({trembr_timer.elapsed:.2f}s)")
 
     # Classical measures on raw coordinates.
     for measure in ("DTW", "Frechet"):
         with Timer() as classical_timer:
             report = evaluate_classical_search(dataset.network, measure, benchmark)
-        print(f"{measure:10s} {report}  ({classical_timer.elapsed:.2f}s)")
+        print(f"{measure:12s} {report}  ({classical_timer.elapsed:.2f}s)")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,8 @@ Sub-packages
 ``repro.baselines``
     traj2vec, t2vec, Trembr, Transformer, BERT, PIM, PIM-TF, Toast, classical
     similarity measures.
+``repro.serving``
+    Representation serving: embedding store + chunked top-k similarity index.
 ``repro.eval``
     Metrics and downstream-task evaluation harnesses.
 ``repro.experiments``

@@ -4,6 +4,13 @@ Representation-based models compare trajectories by the Euclidean distance of
 their representation vectors (Section IV-D4); classical measures compare raw
 coordinate sequences.  Both are evaluated against the detour-based ground
 truth produced by :mod:`repro.trajectory.detour`.
+
+Representation search runs on the serving layer (:mod:`repro.serving`):
+database embeddings are materialised once into an :class:`EmbeddingStore` and
+queried through a :class:`SimilarityIndex`, so evaluation exercises exactly
+the code path production queries take.  The matrix-based helpers below are
+kept for the classical measures (whose pairwise distances cannot be factored
+through an embedding) and for small-scale analysis.
 """
 
 from __future__ import annotations
@@ -13,28 +20,85 @@ import numpy as np
 from repro.baselines.classical import ClassicalSimilarity
 from repro.eval.metrics import precision_at_k, ranking_report
 from repro.roadnet.network import RoadNetwork
+from repro.serving import (
+    DEFAULT_DATABASE_CHUNK,
+    EmbeddingStore,
+    SimilarityIndex,
+    pairwise_squared_euclidean,
+)
+from repro.serving.index import squared_norms
 from repro.trajectory.detour import SimilarityBenchmark
 from repro.trajectory.types import Trajectory
 
 
-def euclidean_distance_matrix(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
-    """``(Q, D)`` pairwise Euclidean distances between representation vectors."""
-    queries = np.asarray(queries, dtype=np.float64)
-    database = np.asarray(database, dtype=np.float64)
-    q_norm = (queries**2).sum(axis=1)[:, None]
-    d_norm = (database**2).sum(axis=1)[None, :]
-    squared = np.maximum(q_norm + d_norm - 2.0 * queries @ database.T, 0.0)
-    return np.sqrt(squared)
+def euclidean_distance_matrix(
+    queries: np.ndarray,
+    database: np.ndarray,
+    chunk_size: int = DEFAULT_DATABASE_CHUNK,
+) -> np.ndarray:
+    """``(Q, D)`` pairwise Euclidean distances between representation vectors.
+
+    Computed one float32 database chunk at a time — the old implementation
+    up-cast both sides to float64, which doubled memory bandwidth for inputs
+    that are float32 representations to begin with.  Only the ``(Q, D)``
+    output is materialised.
+    """
+    queries = np.ascontiguousarray(np.asarray(queries), dtype=np.float32)
+    database = np.ascontiguousarray(np.asarray(database), dtype=np.float32)
+    query_norms = squared_norms(queries)
+    out = np.empty((queries.shape[0], database.shape[0]), dtype=np.float32)
+    for start in range(0, database.shape[0], chunk_size):
+        stop = min(start + chunk_size, database.shape[0])
+        out[:, start:stop] = pairwise_squared_euclidean(
+            queries, database[start:stop], query_norms=query_norms
+        )
+    np.sqrt(out, out=out)
+    return out
 
 
-def ranks_of_ground_truth(distances: np.ndarray, ground_truth: dict[int, int]) -> np.ndarray:
-    """1-based rank of each query's ground-truth database item."""
-    ranks = []
-    for query_index, truth_index in ground_truth.items():
-        order = np.argsort(distances[query_index], kind="stable")
-        rank = int(np.where(order == truth_index)[0][0]) + 1
-        ranks.append(rank)
-    return np.array(ranks, dtype=np.int64)
+def ranks_of_ground_truth(
+    distances: np.ndarray,
+    ground_truth: dict[int, int],
+    threshold: int | None = None,
+) -> np.ndarray:
+    """1-based rank of each query's ground-truth database item.
+
+    With ``threshold=None`` ranks are exact, computed by counting the items
+    that sort strictly before the truth (smaller distance, or equal distance
+    and smaller index — the stable-argsort order) in ``O(D)`` per query
+    instead of a full ``O(D log D)`` sort.
+
+    With a ``threshold`` the rank is only resolved up to that value: items
+    outside the ``argpartition`` top-``threshold`` are reported as
+    ``threshold + 1``.  That is sufficient (and much cheaper on large
+    databases) when the caller only needs hit ratios at ``k <= threshold``.
+    When exact-equal distances straddle the partition boundary the truth may
+    land on either side of it, so ranks at exactly ``threshold`` are only
+    reliable on distance-distinct data — use the exact path if that matters.
+    """
+    distances = np.asarray(distances)
+    query_rows = np.fromiter(ground_truth.keys(), dtype=np.int64, count=len(ground_truth))
+    truth_cols = np.fromiter(ground_truth.values(), dtype=np.int64, count=len(ground_truth))
+    rows = distances[query_rows]
+    truth_values = rows[np.arange(rows.shape[0]), truth_cols]
+    if threshold is None:
+        strictly_closer = rows < truth_values[:, None]
+        column_index = np.arange(rows.shape[1], dtype=np.int64)
+        ties_before = (rows == truth_values[:, None]) & (column_index[None, :] < truth_cols[:, None])
+        # The truth column matches neither mask (not < itself, not an earlier tie).
+        return (strictly_closer | ties_before).sum(axis=1).astype(np.int64) + 1
+
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    threshold = min(threshold, rows.shape[1])
+    top = np.argpartition(rows, threshold - 1, axis=1)[:, :threshold]
+    top_values = np.take_along_axis(rows, top, axis=1)
+    order = np.lexsort((top, top_values), axis=-1)
+    top_sorted = np.take_along_axis(top, order, axis=1)
+    ranks = np.full(rows.shape[0], threshold + 1, dtype=np.int64)
+    hit_row, hit_position = np.nonzero(top_sorted == truth_cols[:, None])
+    ranks[hit_row] = hit_position + 1
+    return ranks
 
 
 def most_similar_search_report(distances: np.ndarray, ground_truth: dict[int, int]) -> dict[str, float]:
@@ -42,19 +106,39 @@ def most_similar_search_report(distances: np.ndarray, ground_truth: dict[int, in
     return ranking_report(ranks_of_ground_truth(distances, ground_truth))
 
 
+def search_report_on_index(
+    index: SimilarityIndex,
+    query_vectors: np.ndarray,
+    ground_truth: dict[int, int],
+) -> dict[str, float]:
+    """MR / HR@1 / HR@5 computed through a :class:`SimilarityIndex`.
+
+    ``ground_truth`` maps row indices of ``query_vectors`` to database rows;
+    ranks come from the index's chunked counting path, so no full distance
+    matrix is ever materialised.
+    """
+    query_rows = np.fromiter(ground_truth.keys(), dtype=np.int64, count=len(ground_truth))
+    truth_cols = np.fromiter(ground_truth.values(), dtype=np.int64, count=len(ground_truth))
+    ranks = index.ranks_of(np.asarray(query_vectors)[query_rows], truth_cols)
+    return ranking_report(ranks)
+
+
 def evaluate_representation_search(
     encode,
     benchmark: SimilarityBenchmark,
+    encode_batch_size: int | None = None,
 ) -> dict[str, float]:
     """Evaluate a representation model on the most-similar search task.
 
     ``encode`` is any callable mapping a list of trajectories to ``(N, d)``
     vectors (``STARTModel.encode`` and every baseline's ``encode`` qualify).
+    The database is materialised into an :class:`EmbeddingStore` and queried
+    through its :class:`SimilarityIndex`.
     """
-    query_vectors = encode(benchmark.queries)
-    database_vectors = encode(benchmark.database)
-    distances = euclidean_distance_matrix(query_vectors, database_vectors)
-    return most_similar_search_report(distances, benchmark.ground_truth)
+    build_kwargs = {} if encode_batch_size is None else {"batch_size": encode_batch_size}
+    database = EmbeddingStore.build(encode, benchmark.database, **build_kwargs)
+    queries = EmbeddingStore.build(encode, benchmark.queries, **build_kwargs)
+    return search_report_on_index(database.index(), queries.vectors, benchmark.ground_truth)
 
 
 def evaluate_classical_search(
@@ -71,9 +155,24 @@ def evaluate_classical_search(
 
 
 def top_k_indices(distances: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the k smallest distances per row (ties broken stably)."""
+    """Indices of the k smallest distances per row (ties broken by index).
+
+    Uses ``argpartition`` plus a sort of only the ``k`` survivors.  When ties
+    straddle the k-boundary the selected *set* may differ from a full stable
+    argsort (either choice is a correct top-k); within the selection, ordering
+    matches the stable order.
+    """
+    distances = np.asarray(distances)
     k = min(k, distances.shape[1])
-    return np.argsort(distances, axis=1, kind="stable")[:, :k]
+    if k == distances.shape[1]:
+        top = np.broadcast_to(
+            np.arange(distances.shape[1], dtype=np.int64), distances.shape
+        )
+    else:
+        top = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    top_values = np.take_along_axis(distances, top, axis=1)
+    order = np.lexsort((top, top_values), axis=-1)
+    return np.take_along_axis(top, order, axis=1)
 
 
 def knearest_precision(
@@ -98,9 +197,19 @@ def evaluate_representation_knearest(
     detoured_queries: list[Trajectory],
     database: list[Trajectory],
     k: int = 5,
+    *,
+    index: SimilarityIndex | None = None,
+    relevant_indices: np.ndarray | None = None,
 ) -> float:
-    """k-nearest precision for a representation model."""
-    database_vectors = encode(database)
-    original_distances = euclidean_distance_matrix(encode(original_queries), database_vectors)
-    detour_distances = euclidean_distance_matrix(encode(detoured_queries), database_vectors)
-    return knearest_precision(original_distances, detour_distances, k=k)
+    """k-nearest precision for a representation model (served from an index).
+
+    Callers evaluating many detour variants against the same database (e.g.
+    the Figure 4 runner) can pass a prebuilt ``index`` and the precomputed
+    ``relevant_indices`` of the original queries to skip re-encoding them.
+    """
+    if index is None:
+        index = EmbeddingStore.build(encode, database).index()
+    if relevant_indices is None:
+        relevant_indices = index.topk(np.asarray(encode(original_queries)), k).indices
+    retrieved = index.topk(np.asarray(encode(detoured_queries)), k).indices
+    return precision_at_k(retrieved, relevant_indices)

@@ -36,6 +36,7 @@ class TaskSettings:
     num_negatives: int = 60
     detour: DetourConfig | None = None
     classification_k: int = 2  # Recall@k for the multi-class report
+    encode_batch_size: int | None = None  # None -> the store's default
 
 
 def run_travel_time_task(
@@ -101,7 +102,9 @@ def run_similarity_task(
     )
     if not benchmark.queries:
         raise RuntimeError("could not build any similarity queries; dataset too small")
-    return evaluate_representation_search(model.encode, benchmark)
+    return evaluate_representation_search(
+        model.encode, benchmark, encode_batch_size=settings.encode_batch_size
+    )
 
 
 def number_of_classes(dataset: TrajectoryDataset, label_kind: str) -> int:

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.eval.similarity import evaluate_representation_knearest
 from repro.experiments.datasets import experiment_dataset
 from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
 from repro.experiments.reporting import format_series
 from repro.core.config import StartConfig
+from repro.serving import EmbeddingStore
 from repro.trajectory.detour import DetourConfig, make_detour
 from repro.utils.seeding import get_rng
 
@@ -72,9 +75,19 @@ def run_figure4(dataset_name: str = "synthetic-porto", settings: Figure4Settings
     zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
     result: dict = {"proportions": list(settings.proportions), "precision": {}, "num_queries": len(queries)}
     for name, model, _ in pretrained_model_zoo(dataset, zoo_settings, names=settings.models):
+        # The database index and the ground-truth neighbour sets depend only
+        # on the model, so build them once and reuse across all proportions.
+        index = EmbeddingStore.build(model.encode, database).index()
+        relevant = index.topk(np.asarray(model.encode(queries)), settings.k).indices
         series = [
             evaluate_representation_knearest(
-                model.encode, queries, detours[proportion], database, k=settings.k
+                model.encode,
+                queries,
+                detours[proportion],
+                database,
+                k=settings.k,
+                index=index,
+                relevant_indices=relevant,
             )
             for proportion in settings.proportions
         ]

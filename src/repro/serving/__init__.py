@@ -1,0 +1,32 @@
+"""`repro.serving` — the representation-serving layer.
+
+Turns a frozen encoder into a query-able similarity-search service:
+:class:`EmbeddingStore` materialises representations once (length-bucketed
+batching, npz persistence) and :class:`SimilarityIndex` answers top-k /
+most-similar / rank queries with chunked float32 distance computation and
+partial (``argpartition``) selection instead of full sorts.
+
+This is the API seam the ROADMAP's scaling directives (sharding, caching,
+batching) attach to: everything above it — eval harnesses, experiments,
+examples — only sees stores and indexes, never raw distance matrices.
+"""
+
+from repro.serving.index import (
+    DEFAULT_DATABASE_CHUNK,
+    DEFAULT_QUERY_CHUNK,
+    SearchResult,
+    SimilarityIndex,
+    pairwise_squared_euclidean,
+)
+from repro.serving.store import DEFAULT_ENCODE_BATCH, FORMAT_VERSION, EmbeddingStore
+
+__all__ = [
+    "DEFAULT_DATABASE_CHUNK",
+    "DEFAULT_ENCODE_BATCH",
+    "DEFAULT_QUERY_CHUNK",
+    "FORMAT_VERSION",
+    "EmbeddingStore",
+    "SearchResult",
+    "SimilarityIndex",
+    "pairwise_squared_euclidean",
+]

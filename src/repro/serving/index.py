@@ -1,0 +1,262 @@
+"""Chunked top-k similarity search over trajectory representations.
+
+The evaluation harness historically materialised a full ``(Q, D)`` float64
+distance matrix and ran a full ``argsort`` per query.  That is fine for the
+paper-scale benchmarks (tens of queries) but cannot serve the ROADMAP's
+heavy-traffic goal: a million-trajectory database costs ``8 * Q * D`` bytes
+per query batch and ``O(D log D)`` per query just to find five neighbours.
+
+:class:`SimilarityIndex` answers the same queries with
+
+* **bounded memory** — distances are computed one database chunk at a time,
+  so peak memory is ``O(query_chunk * database_chunk)`` regardless of the
+  database size;
+* **float32 arithmetic** — representations are float32 to begin with
+  (``STARTModel.encode`` returns float32), so the float64 up-cast of the old
+  path only doubled bandwidth without adding information;
+* **partial selection** — ``np.argpartition`` (``O(D)``) keeps a running
+  top-k between chunks and only the final ``k`` candidates per query are
+  sorted.
+
+Distances are Euclidean; selection is done on squared distances (the square
+root is monotone) and only the returned ``k`` values per query are rooted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default number of query rows processed per block.
+DEFAULT_QUERY_CHUNK = 256
+#: Default number of database rows processed per block.
+DEFAULT_DATABASE_CHUNK = 4096
+
+
+def as_float32_matrix(vectors: np.ndarray, name: str = "vectors") -> np.ndarray:
+    """Validate and convert to a C-contiguous float32 ``(N, d)`` matrix."""
+    matrix = np.ascontiguousarray(np.asarray(vectors), dtype=np.float32)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D (N, d) array, got shape {matrix.shape}")
+    return matrix
+
+
+def squared_norms(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise squared L2 norms, ``(N,)`` float32."""
+    return np.einsum("ij,ij->i", matrix, matrix)
+
+
+def pairwise_squared_euclidean(
+    queries: np.ndarray,
+    database: np.ndarray,
+    query_norms: np.ndarray | None = None,
+    database_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(Q, D)`` squared Euclidean distances for one chunk pair (float32).
+
+    Uses the ``|q|^2 + |d|^2 - 2 q.d`` expansion so the heavy lifting is a
+    single float32 GEMM; negative values from cancellation are clipped to 0.
+    """
+    if query_norms is None:
+        query_norms = squared_norms(queries)
+    if database_norms is None:
+        database_norms = squared_norms(database)
+    squared = query_norms[:, None] + database_norms[None, :] - 2.0 * (queries @ database.T)
+    np.maximum(squared, 0.0, out=squared)
+    return squared
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-k neighbours for a batch of queries.
+
+    ``indices[i, j]`` is the database row of query ``i``'s ``j``-th nearest
+    neighbour (ascending distance, ties broken by database index) and
+    ``distances[i, j]`` the corresponding Euclidean distance.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class SimilarityIndex:
+    """Top-k / most-similar queries over a fixed database of representations.
+
+    The index owns a float32 copy of the database plus its precomputed row
+    norms.  Queries stream through in chunks and a running per-query top-k is
+    merged with ``np.argpartition`` after every database chunk, so neither the
+    full distance matrix nor a full sort ever materialises.
+    """
+
+    def __init__(
+        self,
+        database: np.ndarray,
+        *,
+        query_chunk_size: int = DEFAULT_QUERY_CHUNK,
+        database_chunk_size: int = DEFAULT_DATABASE_CHUNK,
+    ) -> None:
+        if query_chunk_size < 1 or database_chunk_size < 1:
+            raise ValueError("chunk sizes must be positive")
+        matrix = as_float32_matrix(database, "database")
+        if matrix is database and matrix.flags.writeable:
+            # as_float32_matrix is a no-op for float32 C-contiguous input;
+            # copy a still-writeable caller array so later mutation cannot
+            # desync the cached norms below.  Frozen matrices (EmbeddingStore
+            # vectors) are shared as-is — no double memory at serving scale.
+            matrix = matrix.copy()
+        self._database = matrix
+        self._database_norms = squared_norms(self._database)
+        self.query_chunk_size = int(query_chunk_size)
+        self.database_chunk_size = int(database_chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._database.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed representations."""
+        return self._database.shape[1]
+
+    @property
+    def database(self) -> np.ndarray:
+        """The indexed ``(D, d)`` float32 database (read-only view)."""
+        view = self._database.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = as_float32_matrix(queries, "queries")
+        if queries.shape[1] != self.dim:
+            raise ValueError(
+                f"query dimension {queries.shape[1]} does not match index dimension {self.dim}"
+            )
+        return queries
+
+    def _chunk_distances(self, queries: np.ndarray, query_norms: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Squared distances between a query block and database rows [start, stop)."""
+        return pairwise_squared_euclidean(
+            queries,
+            self._database[start:stop],
+            query_norms=query_norms,
+            database_norms=self._database_norms[start:stop],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def topk(self, queries: np.ndarray, k: int) -> SearchResult:
+        """The ``k`` nearest database items for each query row.
+
+        Results are sorted by ascending distance with ties broken by database
+        index.  On distance-distinct data this matches a stable full argsort
+        of the brute-force distance matrix exactly; when exact-equal distances
+        straddle the k-boundary, the partial selection may keep a different
+        (equally near) member of the tie than the stable sort would.  ``k`` is
+        clamped to the database size.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = self._check_queries(queries)
+        num_queries = queries.shape[0]
+        k = min(k, len(self))
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        distances = np.empty((num_queries, k), dtype=np.float32)
+        if num_queries == 0 or k == 0:
+            return SearchResult(indices=indices, distances=distances)
+
+        for row in range(0, num_queries, self.query_chunk_size):
+            block = queries[row : row + self.query_chunk_size]
+            block_norms = squared_norms(block)
+            best_d: np.ndarray | None = None
+            best_i: np.ndarray | None = None
+            for start in range(0, len(self), self.database_chunk_size):
+                stop = min(start + self.database_chunk_size, len(self))
+                chunk_d = self._chunk_distances(block, block_norms, start, stop)
+                chunk_i = np.broadcast_to(
+                    np.arange(start, stop, dtype=np.int64), chunk_d.shape
+                )
+                if best_d is None:
+                    cand_d, cand_i = chunk_d, chunk_i
+                else:
+                    cand_d = np.concatenate([best_d, chunk_d], axis=1)
+                    cand_i = np.concatenate([best_i, chunk_i], axis=1)
+                if cand_d.shape[1] > k:
+                    keep = np.argpartition(cand_d, k - 1, axis=1)[:, :k]
+                    best_d = np.take_along_axis(cand_d, keep, axis=1)
+                    best_i = np.take_along_axis(cand_i, keep, axis=1)
+                else:
+                    best_d = np.array(cand_d, copy=True)
+                    best_i = np.array(cand_i, copy=True)
+            # Order the surviving k candidates: distance first, index on ties.
+            order = np.lexsort((best_i, best_d), axis=-1)
+            block_slice = slice(row, row + block.shape[0])
+            indices[block_slice] = np.take_along_axis(best_i, order, axis=1)
+            distances[block_slice] = np.sqrt(np.take_along_axis(best_d, order, axis=1))
+        return SearchResult(indices=indices, distances=distances)
+
+    def most_similar(self, queries: np.ndarray) -> SearchResult:
+        """The single nearest database item per query (``topk`` with k=1)."""
+        return self.topk(queries, k=1)
+
+    def ranks_of(self, queries: np.ndarray, truth_indices: np.ndarray) -> np.ndarray:
+        """1-based rank of ``truth_indices[i]`` in query ``i``'s result list.
+
+        Equivalent to a stable full argsort of the brute-force distance row
+        followed by ``where(order == truth)``, but computed by *counting* in
+        one chunked pass: the rank of the truth item is one plus the number of
+        database items that sort strictly before it (smaller distance, or
+        equal distance and smaller index).  Memory stays bounded and no sort
+        of the database ever happens.
+
+        The truth item itself is excluded explicitly, so the rank is robust
+        to kernel rounding; a *different* database item whose distance ties
+        the truth's within one float32 ulp may still be counted on either
+        side of the tie (its GEMM distance vs. the truth's row-wise one).
+        """
+        queries = self._check_queries(queries)
+        truth = np.asarray(truth_indices, dtype=np.int64)
+        if truth.shape != (queries.shape[0],):
+            raise ValueError("truth_indices must have one entry per query row")
+        if truth.size and (truth.min() < 0 or truth.max() >= len(self)):
+            raise ValueError("truth_indices out of database range")
+
+        ranks = np.empty(truth.shape, dtype=np.int64)
+        for row in range(0, queries.shape[0], self.query_chunk_size):
+            block = queries[row : row + self.query_chunk_size]
+            block_norms = squared_norms(block)
+            block_truth = truth[row : row + block.shape[0]]
+            # Pass 1: the truth item's distance, computed with the same
+            # norms-minus-dot arithmetic as the chunk kernel.
+            gathered = self._database[block_truth]
+            truth_d = (
+                block_norms
+                + self._database_norms[block_truth]
+                - 2.0 * np.einsum("ij,ij->i", block, gathered)
+            )
+            np.maximum(truth_d, 0.0, out=truth_d)
+            # Pass 2: count items sorting strictly before the truth item.
+            before = np.zeros(block.shape[0], dtype=np.int64)
+            for start in range(0, len(self), self.database_chunk_size):
+                stop = min(start + self.database_chunk_size, len(self))
+                chunk_d = self._chunk_distances(block, block_norms, start, stop)
+                # The truth item itself never counts, whatever tiny float
+                # discrepancy exists between the GEMM and row-wise kernels.
+                in_chunk = (block_truth >= start) & (block_truth < stop)
+                if in_chunk.any():
+                    rows = np.nonzero(in_chunk)[0]
+                    chunk_d[rows, block_truth[rows] - start] = np.inf
+                chunk_idx = np.arange(start, stop, dtype=np.int64)
+                strictly_closer = chunk_d < truth_d[:, None]
+                tie_before = (chunk_d == truth_d[:, None]) & (
+                    chunk_idx[None, :] < block_truth[:, None]
+                )
+                before += (strictly_closer | tie_before).sum(axis=1)
+            ranks[row : row + block.shape[0]] = before + 1
+        return ranks
