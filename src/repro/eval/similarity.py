@@ -5,12 +5,15 @@ their representation vectors (Section IV-D4); classical measures compare raw
 coordinate sequences.  Both are evaluated against the detour-based ground
 truth produced by :mod:`repro.trajectory.detour`.
 
-Representation search runs on the serving layer (:mod:`repro.serving`):
-database embeddings are materialised once into an :class:`EmbeddingStore` and
-queried through a :class:`SimilarityIndex`, so evaluation exercises exactly
-the code path production queries take.  The matrix-based helpers below are
-kept for the classical measures (whose pairwise distances cannot be factored
-through an embedding) and for small-scale analysis.
+Representation search runs on the serving stack (:mod:`repro.serving` +
+:mod:`repro.streaming`): database embeddings are materialised once into an
+:class:`EmbeddingStore` and queried through a sharded index
+(:class:`~repro.streaming.ShardedIndex`), so evaluation exercises exactly the
+code path production queries take — fan-out over append-only shards with a
+``(distance, id)`` merge, which is bit-identical to the monolithic
+:class:`SimilarityIndex` on the same rows.  The matrix-based helpers below
+are kept for the classical measures (whose pairwise distances cannot be
+factored through an embedding) and for small-scale analysis.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.serving import (
     pairwise_squared_euclidean,
 )
 from repro.serving.index import squared_norms
+from repro.streaming import ShardedIndex
 from repro.trajectory.detour import SimilarityBenchmark
 from repro.trajectory.types import Trajectory
 
@@ -107,15 +111,18 @@ def most_similar_search_report(distances: np.ndarray, ground_truth: dict[int, in
 
 
 def search_report_on_index(
-    index: SimilarityIndex,
+    index: SimilarityIndex | ShardedIndex,
     query_vectors: np.ndarray,
     ground_truth: dict[int, int],
 ) -> dict[str, float]:
-    """MR / HR@1 / HR@5 computed through a :class:`SimilarityIndex`.
+    """MR / HR@1 / HR@5 computed through a serving index.
 
-    ``ground_truth`` maps row indices of ``query_vectors`` to database rows;
-    ranks come from the index's chunked counting path, so no full distance
-    matrix is ever materialised.
+    ``index`` is anything with the ``ranks_of`` contract — the monolithic
+    :class:`SimilarityIndex` or a :class:`~repro.streaming.ShardedIndex`
+    whose row ids are insertion-order numbers.  ``ground_truth`` maps row
+    indices of ``query_vectors`` to database rows; ranks come from the
+    index's chunked counting path, so no full distance matrix is ever
+    materialised.
     """
     query_rows = np.fromiter(ground_truth.keys(), dtype=np.int64, count=len(ground_truth))
     truth_cols = np.fromiter(ground_truth.values(), dtype=np.int64, count=len(ground_truth))
@@ -127,18 +134,26 @@ def evaluate_representation_search(
     encode,
     benchmark: SimilarityBenchmark,
     encode_batch_size: int | None = None,
+    *,
+    shard_capacity: int | None = None,
 ) -> dict[str, float]:
     """Evaluate a representation model on the most-similar search task.
 
     ``encode`` is any callable mapping a list of trajectories to ``(N, d)``
     vectors (``STARTModel.encode`` and every baseline's ``encode`` qualify).
-    The database is materialised into an :class:`EmbeddingStore` and queried
-    through its :class:`SimilarityIndex`.
+    The database is materialised into an :class:`EmbeddingStore` and served
+    through a :class:`~repro.streaming.ShardedIndex` over the store's
+    vectors — the production sharded query path, with results bit-identical
+    to the monolithic index.  ``shard_capacity`` overrides the shard size
+    (defaults to one shard per
+    :data:`~repro.streaming.DEFAULT_SHARD_CAPACITY` rows).
     """
     build_kwargs = {} if encode_batch_size is None else {"batch_size": encode_batch_size}
     database = EmbeddingStore.build(encode, benchmark.database, **build_kwargs)
     queries = EmbeddingStore.build(encode, benchmark.queries, **build_kwargs)
-    return search_report_on_index(database.index(), queries.vectors, benchmark.ground_truth)
+    index_kwargs = {} if shard_capacity is None else {"shard_capacity": shard_capacity}
+    index = ShardedIndex.from_vectors(database.vectors, **index_kwargs)
+    return search_report_on_index(index, queries.vectors, benchmark.ground_truth)
 
 
 def evaluate_classical_search(

@@ -67,6 +67,141 @@ def pairwise_squared_euclidean(
     return squared
 
 
+def merge_topk_candidates(
+    best_d: np.ndarray | None,
+    best_i: np.ndarray | None,
+    chunk_d: np.ndarray,
+    chunk_i: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge one candidate block into the running per-query top-k.
+
+    ``best_d``/``best_i`` are the current ``(Q, <=k)`` candidate squared
+    distances and row ids (``None`` before the first block).  The merged
+    candidates are *unsorted*: ``np.argpartition`` only guarantees the k
+    smallest survive, so callers must order them with :func:`finalize_topk`.
+    """
+    if best_d is None:
+        cand_d, cand_i = chunk_d, chunk_i
+    else:
+        cand_d = np.concatenate([best_d, chunk_d], axis=1)
+        cand_i = np.concatenate([best_i, chunk_i], axis=1)
+    if cand_d.shape[1] > k:
+        keep = np.argpartition(cand_d, k - 1, axis=1)[:, :k]
+        return (
+            np.take_along_axis(cand_d, keep, axis=1),
+            np.take_along_axis(cand_i, keep, axis=1),
+        )
+    return np.array(cand_d, copy=True), np.array(cand_i, copy=True)
+
+
+def scan_topk_candidates(
+    queries: np.ndarray,
+    query_norms: np.ndarray,
+    database: np.ndarray,
+    database_norms: np.ndarray,
+    k: int,
+    chunk_size: int,
+    row_ids: np.ndarray | None = None,
+    exclude: np.ndarray | None = None,
+    best: tuple[np.ndarray | None, np.ndarray | None] = (None, None),
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Running top-k candidates of one query block over one database array.
+
+    This is the chunked kernel shared by the monolithic
+    :class:`SimilarityIndex` and the streaming layer's shards: distances are
+    computed one ``chunk_size`` block at a time and merged with
+    :func:`merge_topk_candidates`, so both callers do bit-identical float32
+    arithmetic per database row.
+
+    ``row_ids`` maps local database rows to the ids reported in results
+    (defaults to ``0..N-1``); ``exclude`` is an optional boolean mask of rows
+    to skip (tombstones) — their distances are forced to ``+inf`` so they can
+    never survive a merge while live candidates remain.  ``best`` seeds the
+    running candidates, allowing one scan to continue another.
+    """
+    best_d, best_i = best
+    count = database.shape[0]
+    for start in range(0, count, chunk_size):
+        stop = min(start + chunk_size, count)
+        chunk_d = pairwise_squared_euclidean(
+            queries,
+            database[start:stop],
+            query_norms=query_norms,
+            database_norms=database_norms[start:stop],
+        )
+        if exclude is not None:
+            dead = np.nonzero(exclude[start:stop])[0]
+            if dead.size:
+                chunk_d[:, dead] = np.inf
+        if row_ids is None:
+            ids = np.arange(start, stop, dtype=np.int64)
+        else:
+            ids = row_ids[start:stop]
+        chunk_i = np.broadcast_to(ids, chunk_d.shape)
+        best_d, best_i = merge_topk_candidates(best_d, best_i, chunk_d, chunk_i, k)
+    return best_d, best_i
+
+
+def finalize_topk(best_d: np.ndarray, best_i: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Order surviving candidates (distance first, id on ties) and take roots.
+
+    Returns ``(indices, distances)`` with distances un-squared; only these
+    final ``k`` values per query ever see a ``sqrt`` or a sort.
+    """
+    order = np.lexsort((best_i, best_d), axis=-1)
+    indices = np.take_along_axis(best_i, order, axis=1)
+    distances = np.sqrt(np.take_along_axis(best_d, order, axis=1))
+    return indices, distances
+
+
+def scan_count_before(
+    queries: np.ndarray,
+    query_norms: np.ndarray,
+    database: np.ndarray,
+    database_norms: np.ndarray,
+    truth_d: np.ndarray,
+    truth_ids: np.ndarray,
+    chunk_size: int,
+    row_ids: np.ndarray | None = None,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-query count of database rows sorting strictly before the truth.
+
+    A row sorts before when its squared distance is smaller, or equal with a
+    smaller row id (the stable-argsort order).  The truth row itself (matched
+    by id) and excluded rows are forced to ``+inf`` so they never count.
+    Shared by :meth:`SimilarityIndex.ranks_of` and the sharded rank path.
+    """
+    before = np.zeros(queries.shape[0], dtype=np.int64)
+    count = database.shape[0]
+    for start in range(0, count, chunk_size):
+        stop = min(start + chunk_size, count)
+        chunk_d = pairwise_squared_euclidean(
+            queries,
+            database[start:stop],
+            query_norms=query_norms,
+            database_norms=database_norms[start:stop],
+        )
+        if exclude is not None:
+            dead = np.nonzero(exclude[start:stop])[0]
+            if dead.size:
+                chunk_d[:, dead] = np.inf
+        if row_ids is None:
+            ids = np.arange(start, stop, dtype=np.int64)
+        else:
+            ids = row_ids[start:stop]
+        # The truth item itself never counts, whatever tiny float discrepancy
+        # exists between the GEMM and row-wise kernels.
+        is_truth = ids[None, :] == truth_ids[:, None]
+        if is_truth.any():
+            chunk_d[is_truth] = np.inf
+        strictly_closer = chunk_d < truth_d[:, None]
+        tie_before = (chunk_d == truth_d[:, None]) & (ids[None, :] < truth_ids[:, None])
+        before += (strictly_closer | tie_before).sum(axis=1)
+    return before
+
+
 @dataclass(frozen=True)
 class SearchResult:
     """Top-k neighbours for a batch of queries.
@@ -139,15 +274,6 @@ class SimilarityIndex:
             )
         return queries
 
-    def _chunk_distances(self, queries: np.ndarray, query_norms: np.ndarray, start: int, stop: int) -> np.ndarray:
-        """Squared distances between a query block and database rows [start, stop)."""
-        return pairwise_squared_euclidean(
-            queries,
-            self._database[start:stop],
-            query_norms=query_norms,
-            database_norms=self._database_norms[start:stop],
-        )
-
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -174,31 +300,18 @@ class SimilarityIndex:
         for row in range(0, num_queries, self.query_chunk_size):
             block = queries[row : row + self.query_chunk_size]
             block_norms = squared_norms(block)
-            best_d: np.ndarray | None = None
-            best_i: np.ndarray | None = None
-            for start in range(0, len(self), self.database_chunk_size):
-                stop = min(start + self.database_chunk_size, len(self))
-                chunk_d = self._chunk_distances(block, block_norms, start, stop)
-                chunk_i = np.broadcast_to(
-                    np.arange(start, stop, dtype=np.int64), chunk_d.shape
-                )
-                if best_d is None:
-                    cand_d, cand_i = chunk_d, chunk_i
-                else:
-                    cand_d = np.concatenate([best_d, chunk_d], axis=1)
-                    cand_i = np.concatenate([best_i, chunk_i], axis=1)
-                if cand_d.shape[1] > k:
-                    keep = np.argpartition(cand_d, k - 1, axis=1)[:, :k]
-                    best_d = np.take_along_axis(cand_d, keep, axis=1)
-                    best_i = np.take_along_axis(cand_i, keep, axis=1)
-                else:
-                    best_d = np.array(cand_d, copy=True)
-                    best_i = np.array(cand_i, copy=True)
-            # Order the surviving k candidates: distance first, index on ties.
-            order = np.lexsort((best_i, best_d), axis=-1)
+            best_d, best_i = scan_topk_candidates(
+                block,
+                block_norms,
+                self._database,
+                self._database_norms,
+                k,
+                self.database_chunk_size,
+            )
+            block_indices, block_distances = finalize_topk(best_d, best_i)
             block_slice = slice(row, row + block.shape[0])
-            indices[block_slice] = np.take_along_axis(best_i, order, axis=1)
-            distances[block_slice] = np.sqrt(np.take_along_axis(best_d, order, axis=1))
+            indices[block_slice] = block_indices
+            distances[block_slice] = block_distances
         return SearchResult(indices=indices, distances=distances)
 
     def most_similar(self, queries: np.ndarray) -> SearchResult:
@@ -242,21 +355,14 @@ class SimilarityIndex:
             )
             np.maximum(truth_d, 0.0, out=truth_d)
             # Pass 2: count items sorting strictly before the truth item.
-            before = np.zeros(block.shape[0], dtype=np.int64)
-            for start in range(0, len(self), self.database_chunk_size):
-                stop = min(start + self.database_chunk_size, len(self))
-                chunk_d = self._chunk_distances(block, block_norms, start, stop)
-                # The truth item itself never counts, whatever tiny float
-                # discrepancy exists between the GEMM and row-wise kernels.
-                in_chunk = (block_truth >= start) & (block_truth < stop)
-                if in_chunk.any():
-                    rows = np.nonzero(in_chunk)[0]
-                    chunk_d[rows, block_truth[rows] - start] = np.inf
-                chunk_idx = np.arange(start, stop, dtype=np.int64)
-                strictly_closer = chunk_d < truth_d[:, None]
-                tie_before = (chunk_d == truth_d[:, None]) & (
-                    chunk_idx[None, :] < block_truth[:, None]
-                )
-                before += (strictly_closer | tie_before).sum(axis=1)
+            before = scan_count_before(
+                block,
+                block_norms,
+                self._database,
+                self._database_norms,
+                truth_d,
+                block_truth,
+                self.database_chunk_size,
+            )
             ranks[row : row + block.shape[0]] = before + 1
         return ranks

@@ -1,0 +1,46 @@
+"""`repro.streaming` — streaming ingestion + sharded similarity serving.
+
+The layer between :mod:`repro.serving` (frozen store + monolithic index) and
+a continuously-growing corpus:
+
+* :class:`TrajectoryStreamReader` tails ``trajectories.jsonl`` incrementally
+  and :class:`MicroBatcher` groups arrivals into length-bucketed encode
+  batches (``reader``);
+* :class:`ShardedIndex` routes queries across append-only
+  :class:`IndexShard` segments — add/remove/compact mutations, fan-out +
+  ``(distance, id)`` k-way merge queries, bit-identical to the monolithic
+  :class:`~repro.serving.index.SimilarityIndex` on the same rows
+  (``shards``);
+* :class:`IngestService` ties reader → encoding → shards together with an
+  LRU query cache and npz snapshot/restore (``service``).
+"""
+
+from repro.streaming.reader import (
+    DEFAULT_BUCKET_WIDTH,
+    DEFAULT_MICROBATCH_SIZE,
+    MicroBatcher,
+    TrajectoryStreamReader,
+)
+from repro.streaming.shards import (
+    DEFAULT_SHARD_CAPACITY,
+    IndexShard,
+    ShardedIndex,
+)
+from repro.streaming.service import (
+    DEFAULT_QUERY_CACHE_SIZE,
+    SNAPSHOT_FORMAT_VERSION,
+    IngestService,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_WIDTH",
+    "DEFAULT_MICROBATCH_SIZE",
+    "DEFAULT_QUERY_CACHE_SIZE",
+    "DEFAULT_SHARD_CAPACITY",
+    "SNAPSHOT_FORMAT_VERSION",
+    "IndexShard",
+    "IngestService",
+    "MicroBatcher",
+    "ShardedIndex",
+    "TrajectoryStreamReader",
+]

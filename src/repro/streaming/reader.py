@@ -1,0 +1,187 @@
+"""Streaming trajectory ingestion: tail reader + length-bucketed batching.
+
+The batch pipeline materialises a whole ``trajectories.jsonl`` before
+encoding; under the ROADMAP's heavy-traffic goal trajectories *arrive
+continuously*, so ingestion needs two different primitives:
+
+* :class:`TrajectoryStreamReader` tails a JSONL file incrementally: it
+  remembers its byte offset, consumes only complete (newline-terminated)
+  lines, and picks up records appended since the last :meth:`poll` — a
+  producer can keep writing while a consumer keeps reading, with no full
+  materialisation on either side.
+* :class:`MicroBatcher` groups arriving trajectories into encode batches by
+  *length bucket*.  Padding work in the transformer is quadratic in the
+  padded length, so batching a 5-road trip with a 100-road trip wastes ~400x
+  on the short trip; the batch path solves this with a global length sort,
+  which a stream cannot do — bucketing is the online approximation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.trajectory.io import parse_trajectory_record
+from repro.trajectory.types import Trajectory
+
+#: Default number of trajectories per encode batch.
+DEFAULT_MICROBATCH_SIZE = 64
+#: Default width (in roads) of one length bucket.
+DEFAULT_BUCKET_WIDTH = 16
+
+#: Sentinel: nothing further is readable (EOF or a partial trailing line).
+_EXHAUSTED = object()
+
+
+class TrajectoryStreamReader:
+    """Incremental reader over a ``trajectories.jsonl`` file.
+
+    The reader never loads the file wholesale: every :meth:`poll` seeks to
+    the remembered byte offset, decodes the complete lines appended since,
+    and leaves a trailing partial line (a producer mid-write) for the next
+    poll.  Blank lines are skipped; corrupt records raise a
+    :class:`ValueError` naming the file and line number.
+
+    The file may not exist yet when the reader is constructed — a consumer
+    can start before its producer; polls simply return nothing until the
+    first record lands.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._line_number = 0
+        self._records_read = 0
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread record (consumed lines only)."""
+        return self._offset
+
+    @property
+    def records_read(self) -> int:
+        """Number of non-blank records decoded so far."""
+        return self._records_read
+
+    def poll(self, max_records: int | None = None) -> list[Trajectory]:
+        """Decode records appended since the last poll (at most ``max_records``).
+
+        Returns an empty list when nothing new (or only a partial line) has
+        been written, or when the file does not exist yet.
+        """
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1 when given")
+        out: list[Trajectory] = []
+        if not self.path.exists():
+            return out
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            while max_records is None or len(out) < max_records:
+                trajectory = self._next_record(handle)
+                if trajectory is _EXHAUSTED:
+                    break
+                if trajectory is not None:
+                    out.append(trajectory)
+        return out
+
+    def _next_record(self, handle) -> "Trajectory | None":
+        """Consume one complete line from ``handle`` (positioned at offset).
+
+        Returns the decoded trajectory, ``None`` for a blank line, or the
+        ``_EXHAUSTED`` sentinel when only a partial trailing line (a producer
+        mid-write) or EOF remains — the offset then stays before it so the
+        next poll re-reads it whole.  State advances only after a successful
+        parse: a corrupt record raises with the reader still positioned
+        before it, so re-polling reports the same line deterministically.
+        """
+        line = handle.readline()
+        if not line.endswith(b"\n"):
+            return _EXHAUSTED
+        line_number = self._line_number + 1
+        try:
+            text = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValueError(
+                f"corrupt JSONL trajectory record at {self.path}, "
+                f"line {line_number}: {exc}"
+            ) from None
+        trajectory = parse_trajectory_record(
+            text, source=str(self.path), line_number=line_number
+        )
+        self._line_number = line_number
+        self._offset = handle.tell()
+        if trajectory is not None:
+            self._records_read += 1
+        return trajectory
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        """Stream every record currently readable, one at a time.
+
+        One file handle serves the whole iteration (unlike per-record
+        polling); the offset/partial-line semantics match :meth:`poll`.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            while True:
+                trajectory = self._next_record(handle)
+                if trajectory is _EXHAUSTED:
+                    return
+                if trajectory is not None:
+                    yield trajectory
+
+
+class MicroBatcher:
+    """Group arriving trajectories into length-bucketed encode batches.
+
+    Trajectories land in the bucket ``len(t) // bucket_width``; when a bucket
+    reaches ``batch_size`` it is emitted as one encode batch.  :meth:`flush`
+    drains the partial buckets (shortest lengths first) so every accepted
+    trajectory is eventually emitted exactly once.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_MICROBATCH_SIZE,
+        bucket_width: int = DEFAULT_BUCKET_WIDTH,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        self.batch_size = int(batch_size)
+        self.bucket_width = int(bucket_width)
+        self._buckets: dict[int, list[Trajectory]] = {}
+        self._pending = 0
+
+    @property
+    def pending(self) -> int:
+        """Trajectories accepted but not yet emitted in a batch."""
+        return self._pending
+
+    def add(self, trajectory: Trajectory) -> list[Trajectory] | None:
+        """Accept one trajectory; returns a full batch if one just filled."""
+        key = len(trajectory) // self.bucket_width
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(trajectory)
+        self._pending += 1
+        if len(bucket) >= self.batch_size:
+            del self._buckets[key]
+            self._pending -= len(bucket)
+            return bucket
+        return None
+
+    def add_many(self, trajectories: Iterable[Trajectory]) -> Iterator[list[Trajectory]]:
+        """Accept many trajectories, yielding each batch as it fills."""
+        for trajectory in trajectories:
+            batch = self.add(trajectory)
+            if batch is not None:
+                yield batch
+
+    def flush(self) -> list[list[Trajectory]]:
+        """Emit all partially-filled buckets (shortest lengths first)."""
+        batches = [self._buckets[key] for key in sorted(self._buckets)]
+        self._buckets = {}
+        self._pending = 0
+        return batches

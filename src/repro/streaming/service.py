@@ -1,0 +1,315 @@
+"""The ingestion service: stream reader → micro-batched encoding → shards.
+
+:class:`IngestService` is the piece that turns the streaming primitives into
+a running system.  It owns
+
+* an encoder callable (``STARTModel.encode`` or any baseline's ``encode``),
+  run under :func:`repro.nn.no_grad` on length-bucketed micro-batches;
+* a :class:`~repro.streaming.shards.ShardedIndex` that the encoded vectors
+  append into — existing shards are never re-encoded or re-indexed;
+* the row-id → ``trajectory_id`` mapping, so search results refer back to
+  source trajectories after any number of appends and compactions;
+* a small LRU cache of recent ``top_k`` answers, keyed on the query bytes
+  *and the index generation* — any add/remove/compact bumps the generation,
+  so stale answers can never be served and no explicit invalidation hook is
+  needed;
+* snapshot/restore on top of the :class:`~repro.serving.store.EmbeddingStore`
+  versioned-npz format: one archive per shard plus a JSON manifest, so a
+  serving replica can be rebuilt without the model or the raw trajectories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.nn import no_grad
+from repro.serving.index import SearchResult, as_float32_matrix
+from repro.serving.store import EmbeddingStore
+from repro.streaming.reader import (
+    DEFAULT_BUCKET_WIDTH,
+    DEFAULT_MICROBATCH_SIZE,
+    MicroBatcher,
+    TrajectoryStreamReader,
+)
+from repro.streaming.shards import DEFAULT_SHARD_CAPACITY, ShardedIndex
+
+#: Bump when the snapshot layout changes; readers refuse newer formats.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+
+DEFAULT_QUERY_CACHE_SIZE = 128
+
+
+class _LRUCache:
+    """A tiny ordered-dict LRU for query results."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, SearchResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> SearchResult | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: SearchResult) -> None:
+        if self.capacity < 1:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class IngestService:
+    """Continuous ingestion + serving over a :class:`ShardedIndex`.
+
+    ``encode`` maps a list of trajectories to an ``(N, d)`` float32 array.
+    Trajectories arrive through :meth:`ingest` (any iterable, including a
+    :class:`TrajectoryStreamReader`) or :meth:`drain` (one poll of a reader);
+    queries go through :meth:`top_k`, which consults the LRU cache first.
+    """
+
+    def __init__(
+        self,
+        encode: Callable,
+        *,
+        index: ShardedIndex | None = None,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        batch_size: int = DEFAULT_MICROBATCH_SIZE,
+        bucket_width: int = DEFAULT_BUCKET_WIDTH,
+        cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        metadata: dict | None = None,
+    ) -> None:
+        self.encode = encode
+        self.index = index if index is not None else ShardedIndex(shard_capacity=shard_capacity)
+        self.batcher = MicroBatcher(batch_size=batch_size, bucket_width=bucket_width)
+        self.metadata = dict(metadata or {})
+        self._trajectory_ids: dict[int, int] = {}
+        self._cache = _LRUCache(cache_size)
+        self._encoded_batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Alive rows in the index (pending micro-batches not included)."""
+        return len(self.index)
+
+    @property
+    def pending(self) -> int:
+        """Trajectories accepted but still buffered in the micro-batcher."""
+        return self.batcher.pending
+
+    @property
+    def encoded_batches(self) -> int:
+        """Encode calls made so far (one per emitted micro-batch)."""
+        return self._encoded_batches
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "entries": len(self._cache),
+        }
+
+    def trajectory_ids(self, row_ids: np.ndarray) -> np.ndarray:
+        """Map global row ids (as returned in results) to trajectory ids."""
+        rows = np.asarray(row_ids, dtype=np.int64)
+        return np.array(
+            [self._trajectory_ids[int(r)] for r in rows.ravel()], dtype=np.int64
+        ).reshape(rows.shape)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def _append_batch(self, batch: list) -> int:
+        with no_grad():
+            vectors = np.asarray(self.encode(batch), dtype=np.float32)
+        if vectors.shape[0] != len(batch):
+            raise ValueError(f"encode returned {vectors.shape[0]} rows for a batch of {len(batch)}")
+        self._encoded_batches += 1
+        row_ids = self.index.add(vectors)
+        for row_id, trajectory in zip(row_ids, batch):
+            self._trajectory_ids[int(row_id)] = int(
+                getattr(trajectory, "trajectory_id", int(row_id))
+            )
+        return len(batch)
+
+    def ingest(self, trajectories: Iterable, *, flush: bool = True) -> int:
+        """Encode and index trajectories from any iterable; returns the count.
+
+        Arrivals stream through the micro-batcher, so encode batches are
+        length-bucketed; with ``flush=True`` (default) partial buckets are
+        drained at the end, making every accepted trajectory queryable when
+        the call returns.  ``flush=False`` leaves partial buckets pending for
+        a caller that keeps feeding arrivals and wants full batches only.
+        """
+        ingested = 0
+        for batch in self.batcher.add_many(trajectories):
+            ingested += self._append_batch(batch)
+        if flush:
+            ingested += self.flush()
+        return ingested
+
+    def flush(self) -> int:
+        """Drain partially-filled micro-batches into the index."""
+        flushed = 0
+        for batch in self.batcher.flush():
+            flushed += self._append_batch(batch)
+        return flushed
+
+    def drain(self, reader: TrajectoryStreamReader, max_records: int | None = None) -> int:
+        """Ingest one poll of a stream reader (new records since last time)."""
+        return self.ingest(reader.poll(max_records=max_records))
+
+    def remove(self, row_ids) -> int:
+        """Tombstone rows by global id; returns how many were alive."""
+        removed = self.index.remove(row_ids)
+        for row_id in np.atleast_1d(np.asarray(row_ids, dtype=np.int64)):
+            self._trajectory_ids.pop(int(row_id), None)
+        return removed
+
+    def compact(self, *, min_tombstones: int = 1) -> bool:
+        """Compact the underlying index (see :meth:`ShardedIndex.compact`)."""
+        return self.index.compact(min_tombstones=min_tombstones)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, queries: np.ndarray, k: int) -> tuple:
+        digest = hashlib.blake2b(queries.tobytes(), digest_size=16).hexdigest()
+        return (self.index.generation, queries.shape, int(k), digest)
+
+    def top_k(self, queries: np.ndarray, k: int) -> SearchResult:
+        """Cached sharded top-k (see :meth:`ShardedIndex.top_k`).
+
+        Result arrays are frozen (read-only): the same object may be served
+        to later identical queries, so in-place mutation by one caller must
+        not poison another's answer.  Copy before modifying.
+        """
+        queries = as_float32_matrix(queries, "queries")
+        key = self._cache_key(queries, k)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.index.top_k(queries, k)
+        result.indices.flags.writeable = False
+        result.distances.flags.writeable = False
+        self._cache.put(key, result)
+        return result
+
+    def most_similar(self, queries: np.ndarray) -> SearchResult:
+        return self.top_k(queries, k=1)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def snapshot(self, directory: str | Path) -> Path:
+        """Write the index state under ``directory`` (one npz per shard).
+
+        Each shard persists through the versioned
+        :class:`~repro.serving.store.EmbeddingStore` format — vectors plus
+        global row ids, with tombstoned ids and the trajectory-id mapping in
+        the store metadata — and ``manifest.json`` records the index
+        geometry.  Pending (un-flushed) micro-batches are not part of the
+        snapshot; call :meth:`flush` first if they must be.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_files: list[str] = []
+        for number, shard in enumerate(self.index.shards):
+            if len(shard) == 0:
+                continue
+            name = f"shard_{number:05d}.npz"
+            ids = shard.ids
+            store = EmbeddingStore(
+                shard.vectors,
+                ids=ids,
+                metadata={
+                    "deleted_ids": [int(i) for i in ids[shard.dead]],
+                    "trajectory_ids": [
+                        self._trajectory_ids.get(int(i), int(i)) for i in ids
+                    ],
+                },
+            )
+            store.save(directory / name)
+            shard_files.append(name)
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "shards": shard_files,
+            "shard_capacity": self.index.shard_capacity,
+            "query_chunk_size": self.index.query_chunk_size,
+            "database_chunk_size": self.index.database_chunk_size,
+            "next_id": self.index.next_id,
+            "dim": self.index.dim,
+            "metadata": self.metadata,
+        }
+        with open(directory / _MANIFEST_NAME, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+        return directory
+
+    @classmethod
+    def restore(cls, directory: str | Path, encode: Callable, **service_kwargs) -> "IngestService":
+        """Rebuild a service from a :meth:`snapshot` directory.
+
+        The restored index reproduces the snapshotted shard layout row for
+        row (same ids, same order, same tombstones), so queries against it
+        are bit-identical to queries against the original.
+        """
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValueError(f"{directory} is not an IngestService snapshot (no {_MANIFEST_NAME})")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        version = int(manifest.get("format_version", 0))
+        if version > SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"{directory} uses snapshot format v{version}; "
+                f"this build reads up to v{SNAPSHOT_FORMAT_VERSION}"
+            )
+        index = ShardedIndex(
+            dim=manifest.get("dim"),
+            shard_capacity=int(manifest["shard_capacity"]),
+            query_chunk_size=int(manifest["query_chunk_size"]),
+            database_chunk_size=int(manifest["database_chunk_size"]),
+        )
+        service = cls(
+            encode,
+            index=index,
+            metadata=manifest.get("metadata", {}),
+            **service_kwargs,
+        )
+        deleted: list[int] = []
+        for name in manifest["shards"]:
+            store = EmbeddingStore.load(directory / name)
+            index.add(store.vectors, ids=store.ids)
+            deleted.extend(int(i) for i in store.metadata.get("deleted_ids", []))
+            for row_id, trajectory_id in zip(
+                store.ids, store.metadata.get("trajectory_ids", store.ids)
+            ):
+                service._trajectory_ids[int(row_id)] = int(trajectory_id)
+        if deleted:
+            index.remove(deleted)
+            for row_id in deleted:
+                service._trajectory_ids.pop(row_id, None)
+        index.next_id = int(manifest.get("next_id", index.next_id))
+        return service

@@ -1,0 +1,508 @@
+"""Sharded, incrementally-updatable similarity serving.
+
+:class:`SimilarityIndex` (PR 1) freezes its database at construction — the
+right trade for a batch evaluation, the wrong one for a service whose corpus
+grows continuously.  This module decomposes the database into append-only
+:class:`IndexShard` segments behind one :class:`ShardedIndex` router:
+
+* **appends** go to the newest shard until it reaches capacity, then a fresh
+  shard opens — existing shards (and their cached norms) are never touched,
+  so ingesting new trajectories never re-encodes or re-indexes old ones;
+* **removals** are tombstones: the row stays in storage but its distance is
+  forced to ``+inf`` during scans, so deletes are O(1) and never reshuffle
+  surviving ids;
+* **compaction** rewrites the shard list without tombstoned rows, reclaiming
+  their memory once enough garbage accumulates;
+* **queries** fan out: each shard runs the *same* chunked
+  ``argpartition`` kernel as the monolithic index
+  (:func:`repro.serving.index.scan_topk_candidates`) over its own segment,
+  and the per-shard top-k candidate lists are k-way merged by
+  ``(distance, id)``.
+
+**Bit-identity.**  When ``shard_capacity`` is a multiple of
+``database_chunk_size`` (true for the defaults, 8192 and 4096), shard
+boundaries land on the monolithic index's chunk grid: every GEMM the sharded
+scan issues sees a bitwise-identical input block to one the monolithic scan
+issues, so the merged ids *and* distances are **bit-identical** to
+:meth:`SimilarityIndex.topk` over the same rows in the same order — sharding
+changes layout, not answers.  Misaligned capacities change GEMM block
+shapes, and BLAS reduction order is not shape-invariant, so distances may
+then drift by one float32 ulp (the top-k is still exact for the arithmetic
+performed; ids still agree on data without near-ulp ties).  The remaining
+universal caveat: when exact-equal distances straddle the k boundary either
+tie member is a correct answer and two layouts may keep different ones —
+real float32 representations essentially never tie.
+
+Row ids are global and stable: by default they number rows in insertion
+order, so a ``ShardedIndex`` filled in database order reports the same ids a
+:class:`SimilarityIndex` would report as row indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.index import (
+    DEFAULT_DATABASE_CHUNK,
+    DEFAULT_QUERY_CHUNK,
+    SearchResult,
+    as_float32_matrix,
+    finalize_topk,
+    merge_topk_candidates,
+    scan_count_before,
+    scan_topk_candidates,
+    squared_norms,
+)
+
+#: Default number of rows one shard holds before a new shard opens.
+DEFAULT_SHARD_CAPACITY = 8192
+#: Initial allocation of a shard's growable buffer.
+_INITIAL_SHARD_ALLOCATION = 256
+
+
+class IndexShard:
+    """One append-only segment of a :class:`ShardedIndex`.
+
+    The shard owns a growable (doubling) float32 buffer of vectors, their
+    cached squared norms, their global row ids and a tombstone mask.  It is
+    append-only in the segment sense: rows are only ever added at the end
+    (until ``capacity``) or tombstoned — never updated or reordered.
+    """
+
+    def __init__(self, dim: int, capacity: int, *, database_chunk_size: int = DEFAULT_DATABASE_CHUNK) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = int(dim)
+        self.capacity = int(capacity)
+        self.database_chunk_size = int(database_chunk_size)
+        allocation = min(self.capacity, _INITIAL_SHARD_ALLOCATION)
+        self._vectors = np.empty((allocation, self.dim), dtype=np.float32)
+        self._norms = np.empty(allocation, dtype=np.float32)
+        self._ids = np.empty(allocation, dtype=np.int64)
+        self._dead = np.zeros(allocation, dtype=bool)
+        self._count = 0
+        self._dead_count = 0
+        self._rows_by_id: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Stored rows, tombstoned included."""
+        return self._count
+
+    @property
+    def alive_count(self) -> int:
+        return self._count - self._dead_count
+
+    @property
+    def dead_count(self) -> int:
+        return self._dead_count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._count
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The stored ``(len(self), dim)`` vectors (tombstoned rows included)."""
+        return self._vectors[: self._count]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Global row ids of the stored rows."""
+        return self._ids[: self._count]
+
+    @property
+    def dead(self) -> np.ndarray:
+        """Tombstone mask over the stored rows."""
+        return self._dead[: self._count]
+
+    def __contains__(self, row_id: int) -> bool:
+        """Whether ``row_id`` is stored here and alive."""
+        return int(row_id) in self._rows_by_id
+
+    def row_of(self, row_id: int) -> int:
+        """Local row index of an alive global id (KeyError when absent/dead)."""
+        return self._rows_by_id[int(row_id)]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _grow_to(self, needed: int) -> None:
+        allocated = self._vectors.shape[0]
+        if needed <= allocated:
+            return
+        new_size = allocated
+        while new_size < needed:
+            new_size *= 2
+        new_size = min(new_size, self.capacity)
+        for name in ("_vectors", "_norms", "_ids", "_dead"):
+            old = getattr(self, name)
+            shape = (new_size,) + old.shape[1:]
+            fresh = np.zeros(shape, dtype=old.dtype) if name == "_dead" else np.empty(shape, dtype=old.dtype)
+            fresh[: self._count] = old[: self._count]
+            setattr(self, name, fresh)
+
+    def append(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        """Append rows (must fit: callers split across shards via ``remaining``)."""
+        vectors = as_float32_matrix(vectors)
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"vector dimension {vectors.shape[1]} != shard dimension {self.dim}")
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape != (vectors.shape[0],):
+            raise ValueError("ids must have exactly one entry per vector row")
+        count = vectors.shape[0]
+        if count > self.remaining:
+            raise ValueError(f"appending {count} rows overflows shard capacity {self.capacity}")
+        self._grow_to(self._count + count)
+        start = self._count
+        stop = start + count
+        self._vectors[start:stop] = vectors
+        # Norms use the same row-wise einsum as the monolithic index, so a
+        # row's cached norm is bit-identical however it arrived.
+        self._norms[start:stop] = squared_norms(vectors)
+        self._ids[start:stop] = ids
+        self._dead[start:stop] = False
+        for row in range(start, stop):
+            self._rows_by_id[int(self._ids[row])] = row
+        self._count = stop
+
+    def remove(self, row_id: int) -> bool:
+        """Tombstone one row by global id; returns whether it was alive here."""
+        row = self._rows_by_id.pop(int(row_id), None)
+        if row is None:
+            return False
+        self._dead[row] = True
+        self._dead_count += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queries (the PR 1 chunked kernel over this segment)
+    # ------------------------------------------------------------------ #
+    def scan_topk(
+        self,
+        block: np.ndarray,
+        block_norms: np.ndarray,
+        k: int,
+        best: tuple[np.ndarray | None, np.ndarray | None] = (None, None),
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Merge this shard's rows into a running top-k candidate set."""
+        if self._count == 0:
+            return best
+        return scan_topk_candidates(
+            block,
+            block_norms,
+            self.vectors,
+            self._norms[: self._count],
+            k,
+            self.database_chunk_size,
+            row_ids=self.ids,
+            exclude=self.dead if self._dead_count else None,
+            best=best,
+        )
+
+    def count_before(
+        self,
+        block: np.ndarray,
+        block_norms: np.ndarray,
+        truth_d: np.ndarray,
+        truth_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Rows of this shard sorting strictly before each query's truth item."""
+        if self._count == 0:
+            return np.zeros(block.shape[0], dtype=np.int64)
+        return scan_count_before(
+            block,
+            block_norms,
+            self.vectors,
+            self._norms[: self._count],
+            truth_d,
+            truth_ids,
+            self.database_chunk_size,
+            row_ids=self.ids,
+            exclude=self.dead if self._dead_count else None,
+        )
+
+    def gather(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stored vectors and cached norms at local ``rows``."""
+        return self._vectors[rows], self._norms[rows]
+
+
+class ShardedIndex:
+    """A router over append-only :class:`IndexShard` segments.
+
+    Supports ``add`` / ``remove`` / ``compact`` mutations and the same query
+    surface as :class:`SimilarityIndex` (``top_k`` / ``most_similar`` /
+    ``ranks_of``), with query-time fan-out across shards and a k-way merge of
+    per-shard candidates by ``(distance, id)``.
+
+    ``generation`` increments on every mutation; caches keyed on it (the
+    ingest service's LRU) invalidate automatically.
+    """
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        *,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        query_chunk_size: int = DEFAULT_QUERY_CHUNK,
+        database_chunk_size: int = DEFAULT_DATABASE_CHUNK,
+    ) -> None:
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be >= 1")
+        if query_chunk_size < 1 or database_chunk_size < 1:
+            raise ValueError("chunk sizes must be positive")
+        self._dim = int(dim) if dim is not None else None
+        self.shard_capacity = int(shard_capacity)
+        self.query_chunk_size = int(query_chunk_size)
+        self.database_chunk_size = int(database_chunk_size)
+        self._shards: list[IndexShard] = []
+        self._shard_by_id: dict[int, IndexShard] = {}
+        self._next_id = 0
+        self.generation = 0
+
+    @classmethod
+    def from_vectors(cls, vectors: np.ndarray, ids: np.ndarray | None = None, **kwargs) -> "ShardedIndex":
+        """Build an index holding ``vectors`` (ids default to row numbers)."""
+        vectors = as_float32_matrix(vectors)
+        index = cls(dim=vectors.shape[1], **kwargs)
+        if vectors.shape[0]:
+            index.add(vectors, ids=ids)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Alive (queryable) rows across all shards."""
+        return sum(shard.alive_count for shard in self._shards)
+
+    @property
+    def dim(self) -> int | None:
+        """Representation dimensionality (``None`` until the first add)."""
+        return self._dim
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[IndexShard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next auto-assigned row will receive."""
+        return self._next_id
+
+    @next_id.setter
+    def next_id(self, value: int) -> None:
+        if int(value) < self._next_id:
+            raise ValueError("next_id may only move forward")
+        self._next_id = int(value)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Stored-but-dead rows awaiting :meth:`compact`."""
+        return sum(shard.dead_count for shard in self._shards)
+
+    def __contains__(self, row_id: int) -> bool:
+        return int(row_id) in self._shard_by_id
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = as_float32_matrix(queries, "queries")
+        if self._dim is not None and queries.shape[1] != self._dim:
+            raise ValueError(
+                f"query dimension {queries.shape[1]} does not match index dimension {self._dim}"
+            )
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Append rows, returning their global ids.
+
+        Ids are assigned sequentially in insertion order unless given
+        explicitly (snapshot restore); explicit ids must be fresh.  Rows
+        stream into the newest shard until it fills, then further shards
+        open — sealed shards are never touched.
+        """
+        vectors = as_float32_matrix(vectors)
+        if self._dim is None:
+            self._dim = vectors.shape[1]
+        elif vectors.shape[1] != self._dim:
+            raise ValueError(f"vector dimension {vectors.shape[1]} != index dimension {self._dim}")
+        count = vectors.shape[0]
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + count, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (count,):
+                raise ValueError("ids must have exactly one entry per vector row")
+            if len(np.unique(ids)) != count:
+                raise ValueError("ids must be unique")
+            for row_id in ids:
+                if int(row_id) in self._shard_by_id:
+                    raise ValueError(f"row id {int(row_id)} already present")
+        if count == 0:
+            return ids
+        written = 0
+        while written < count:
+            if not self._shards or self._shards[-1].is_full:
+                self._shards.append(
+                    IndexShard(
+                        self._dim,
+                        self.shard_capacity,
+                        database_chunk_size=self.database_chunk_size,
+                    )
+                )
+            shard = self._shards[-1]
+            take = min(shard.remaining, count - written)
+            piece = ids[written : written + take]
+            shard.append(vectors[written : written + take], piece)
+            for row_id in piece:
+                self._shard_by_id[int(row_id)] = shard
+            written += take
+        self._next_id = max(self._next_id, int(ids.max()) + 1)
+        self.generation += 1
+        return ids
+
+    def remove(self, ids) -> int:
+        """Tombstone rows by global id; returns how many were alive."""
+        removed = 0
+        for row_id in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
+            shard = self._shard_by_id.pop(int(row_id), None)
+            if shard is not None and shard.remove(int(row_id)):
+                removed += 1
+        if removed:
+            self.generation += 1
+        return removed
+
+    def compact(self, *, min_tombstones: int = 1) -> bool:
+        """Rewrite shards without tombstoned rows, reclaiming their memory.
+
+        Surviving rows keep their ids and relative order; shard boundaries
+        are re-drawn at ``shard_capacity``.  No-op (returns ``False``) while
+        fewer than ``min_tombstones`` rows are dead.
+        """
+        if self.tombstone_count < min_tombstones:
+            return False
+        survivors_v: list[np.ndarray] = []
+        survivors_i: list[np.ndarray] = []
+        for shard in self._shards:
+            alive = ~shard.dead
+            survivors_v.append(shard.vectors[alive])
+            survivors_i.append(shard.ids[alive])
+        self._shards = []
+        self._shard_by_id = {}
+        next_id = self._next_id
+        generation = self.generation
+        if survivors_v:
+            vectors = np.concatenate(survivors_v, axis=0)
+            ids = np.concatenate(survivors_i)
+            if vectors.shape[0]:
+                self.add(vectors, ids=ids)
+        self._next_id = next_id
+        self.generation = generation + 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def top_k(self, queries: np.ndarray, k: int) -> SearchResult:
+        """The ``k`` nearest alive rows for each query, merged across shards.
+
+        Semantics match :meth:`SimilarityIndex.topk` exactly — on the same
+        rows in the same insertion order the returned ids and distances are
+        bit-identical whenever ``shard_capacity`` is a multiple of
+        ``database_chunk_size`` (see the module docstring).  ``k`` is
+        clamped to the alive row count.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = self._check_queries(queries)
+        num_queries = queries.shape[0]
+        k = min(k, len(self))
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        distances = np.empty((num_queries, k), dtype=np.float32)
+        if num_queries == 0 or k == 0:
+            return SearchResult(indices=indices, distances=distances)
+
+        for row in range(0, num_queries, self.query_chunk_size):
+            block = queries[row : row + self.query_chunk_size]
+            block_norms = squared_norms(block)
+            # Fan-out: each shard reduces its segment to <= k candidates with
+            # the shared chunked kernel ...
+            per_shard = [
+                shard.scan_topk(block, block_norms, k)
+                for shard in self._shards
+                if len(shard)
+            ]
+            # ... then the k-way merge selects the global k by (distance, id).
+            best_d: np.ndarray | None = None
+            best_i: np.ndarray | None = None
+            for shard_d, shard_i in per_shard:
+                best_d, best_i = merge_topk_candidates(best_d, best_i, shard_d, shard_i, k)
+            block_indices, block_distances = finalize_topk(best_d, best_i)
+            block_slice = slice(row, row + block.shape[0])
+            indices[block_slice] = block_indices[:, :k]
+            distances[block_slice] = block_distances[:, :k]
+        return SearchResult(indices=indices, distances=distances)
+
+    # The monolithic index spells it ``topk``; accept both.
+    topk = top_k
+
+    def most_similar(self, queries: np.ndarray) -> SearchResult:
+        """The single nearest alive row per query (``top_k`` with k=1)."""
+        return self.top_k(queries, k=1)
+
+    def ranks_of(self, queries: np.ndarray, truth_ids: np.ndarray) -> np.ndarray:
+        """1-based rank of ``truth_ids[i]`` among query ``i``'s neighbours.
+
+        The counting semantics (and results) match
+        :meth:`SimilarityIndex.ranks_of` with ids in place of row indices:
+        rank = 1 + the number of alive rows sorting strictly before the truth
+        row (smaller distance, or equal distance and smaller id).
+        """
+        queries = self._check_queries(queries)
+        truth = np.asarray(truth_ids, dtype=np.int64)
+        if truth.shape != (queries.shape[0],):
+            raise ValueError("truth_ids must have one entry per query row")
+        for row_id in truth:
+            if int(row_id) not in self._shard_by_id:
+                raise ValueError(f"truth id {int(row_id)} is not an alive row of the index")
+
+        ranks = np.empty(truth.shape, dtype=np.int64)
+        for row in range(0, queries.shape[0], self.query_chunk_size):
+            block = queries[row : row + self.query_chunk_size]
+            block_norms = squared_norms(block)
+            block_truth = truth[row : row + block.shape[0]]
+            # Pass 1: the truth rows' distances, with the same norms-minus-dot
+            # arithmetic as the chunk kernel.
+            gathered = np.empty((block.shape[0], self._dim), dtype=np.float32)
+            gathered_norms = np.empty(block.shape[0], dtype=np.float32)
+            for i, row_id in enumerate(block_truth):
+                shard = self._shard_by_id[int(row_id)]
+                vec, norm = shard.gather(np.array([shard.row_of(int(row_id))]))
+                gathered[i] = vec[0]
+                gathered_norms[i] = norm[0]
+            truth_d = (
+                block_norms
+                + gathered_norms
+                - 2.0 * np.einsum("ij,ij->i", block, gathered)
+            )
+            np.maximum(truth_d, 0.0, out=truth_d)
+            # Pass 2: count rows sorting strictly before, summed over shards.
+            before = np.zeros(block.shape[0], dtype=np.int64)
+            for shard in self._shards:
+                before += shard.count_before(block, block_norms, truth_d, block_truth)
+            ranks[row : row + block.shape[0]] = before + 1
+        return ranks

@@ -49,7 +49,14 @@ from repro.trajectory.presets import (
     label_of,
     preset_spec,
 )
-from repro.trajectory.io import load_dataset, save_dataset
+from repro.trajectory.io import (
+    append_trajectories,
+    iter_trajectory_records,
+    load_dataset,
+    parse_trajectory_record,
+    save_dataset,
+    trajectory_record,
+)
 
 __all__ = [
     "GPSPoint",
@@ -86,6 +93,10 @@ __all__ = [
     "build_network",
     "label_of",
     "preset_spec",
+    "append_trajectories",
+    "iter_trajectory_records",
     "load_dataset",
+    "parse_trajectory_record",
     "save_dataset",
+    "trajectory_record",
 ]

@@ -82,7 +82,31 @@ class TestSimilarityIndex:
         with pytest.raises(ValueError):
             index.topk(rng.standard_normal((3, 4)), 0)
         with pytest.raises(ValueError):
+            index.topk(rng.standard_normal((3, 4)), -1)
+        with pytest.raises(ValueError):
             index.topk(rng.standard_normal((3, 5)), 2)  # dimension mismatch
+
+    def test_topk_on_empty_database(self, rng):
+        index = SimilarityIndex(np.empty((0, 4), dtype=np.float32))
+        assert len(index) == 0
+        result = index.topk(rng.standard_normal((3, 4)), 5)
+        assert result.indices.shape == (3, 0)
+        assert result.distances.shape == (3, 0)
+        with pytest.raises(ValueError):
+            index.topk(rng.standard_normal((3, 4)), 0)  # k < 1 still rejected
+
+    def test_topk_k_equals_database_size(self, rng):
+        database = rng.standard_normal((12, 4)).astype(np.float32)
+        queries = rng.standard_normal((5, 4)).astype(np.float32)
+        result = SimilarityIndex(database).topk(queries, k=12)
+        np.testing.assert_array_equal(result.indices, brute_force_topk(queries, database, 12))
+
+    def test_topk_k_exceeds_database_size_clamps(self, rng):
+        database = rng.standard_normal((7, 4)).astype(np.float32)
+        queries = rng.standard_normal((4, 4)).astype(np.float32)
+        result = SimilarityIndex(database).topk(queries, k=50)
+        assert result.indices.shape == (4, 7)
+        np.testing.assert_array_equal(result.indices, brute_force_topk(queries, database, 7))
 
     def test_tie_breaking_prefers_lower_index(self):
         database = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]], dtype=np.float32)
@@ -170,6 +194,32 @@ class TestEmbeddingStore:
         )
         np.savez(path, **arrays)
         with pytest.raises(ValueError, match="format"):
+            EmbeddingStore.load(path)
+
+    def test_empty_store_round_trip(self, tmp_path):
+        store = EmbeddingStore(np.empty((0, 5), dtype=np.float32), metadata={"note": "empty"})
+        assert len(store) == 0 and store.dim == 5
+        loaded = EmbeddingStore.load(store.save(tmp_path / "empty.npz"))
+        assert len(loaded) == 0
+        assert loaded.dim == 5
+        assert loaded.metadata == {"note": "empty"}
+        assert loaded.ids.shape == (0,)
+
+    def test_load_rejects_mismatched_metadata(self, rng, tmp_path):
+        """A version tag whose count/dim disagree with the arrays is refused."""
+        store = EmbeddingStore(rng.standard_normal((4, 3)).astype(np.float32))
+        path = store.save(tmp_path / "tampered.npz")
+        import json
+
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(arrays["__embedding_store_meta__"].tobytes()).decode())
+        meta["count"] = 99  # tag no longer matches the vectors array
+        arrays["__embedding_store_meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="metadata"):
             EmbeddingStore.load(path)
 
     def test_store_to_index_end_to_end(self, rng):

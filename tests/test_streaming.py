@@ -1,0 +1,411 @@
+"""Tests for the streaming layer: reader, batcher, shards, ingest service.
+
+The load-bearing contract is *bit-identity*: a :class:`ShardedIndex` whose
+shard capacity is a multiple of its database chunk size must return exactly
+the ids and distances of the monolithic :class:`SimilarityIndex` over the
+same rows — verified here both on fixed configurations (the acceptance gate
+across several shard counts) and as a hypothesis property.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import SimilarityIndex
+from repro.streaming import (
+    IngestService,
+    MicroBatcher,
+    ShardedIndex,
+    TrajectoryStreamReader,
+)
+from repro.streaming.service import SNAPSHOT_FORMAT_VERSION
+from repro.trajectory import Trajectory, append_trajectories
+
+
+def make_trajectory(trajectory_id: int, length: int) -> Trajectory:
+    return Trajectory(
+        roads=list(range(length)),
+        timestamps=[float(1000 + 10 * i) for i in range(length)],
+        user_id=trajectory_id % 5,
+        trajectory_id=trajectory_id,
+    )
+
+
+def id_encode(batch: list[Trajectory]) -> np.ndarray:
+    """Deterministic per-trajectory embedding, independent of batching."""
+    return np.array(
+        [[len(t), t.trajectory_id % 7, (t.trajectory_id * 13) % 11] for t in batch],
+        dtype=np.float32,
+    )
+
+
+class TestTrajectoryStreamReader:
+    def test_polls_pick_up_appends_incrementally(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        reader = TrajectoryStreamReader(path)
+        assert reader.poll() == []  # file does not exist yet
+
+        append_trajectories(path, [make_trajectory(i, 4) for i in range(3)])
+        first = reader.poll()
+        assert [t.trajectory_id for t in first] == [0, 1, 2]
+
+        append_trajectories(path, [make_trajectory(i, 4) for i in range(3, 5)])
+        second = reader.poll()
+        assert [t.trajectory_id for t in second] == [3, 4]
+        assert reader.poll() == []
+        assert reader.records_read == 5
+
+    def test_partial_trailing_line_waits_for_newline(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        append_trajectories(path, [make_trajectory(0, 3)])
+        reader = TrajectoryStreamReader(path)
+        assert len(reader.poll()) == 1
+
+        line = json.dumps({"roads": [1], "timestamps": [1.0], "user_id": 0,
+                           "occupied": 0, "trajectory_id": 9})
+        with open(path, "a") as handle:  # a producer mid-write
+            handle.write(line[: len(line) // 2])
+        assert reader.poll() == []
+        with open(path, "a") as handle:
+            handle.write(line[len(line) // 2 :] + "\n")
+        assert [t.trajectory_id for t in reader.poll()] == [9]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        append_trajectories(path, [make_trajectory(0, 3)])
+        with open(path, "a") as handle:
+            handle.write("\n   \n")
+        append_trajectories(path, [make_trajectory(1, 3)])
+        reader = TrajectoryStreamReader(path)
+        assert [t.trajectory_id for t in reader.poll()] == [0, 1]
+
+    def test_corrupt_record_names_file_and_line(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        append_trajectories(path, [make_trajectory(0, 3)])
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        reader = TrajectoryStreamReader(path)
+        with pytest.raises(ValueError, match=r"line 2"):
+            reader.poll()
+        # The reader did not advance past the corrupt line: deterministic error.
+        with pytest.raises(ValueError, match=r"line 2"):
+            reader.poll()
+
+    def test_invalid_utf8_names_file_and_line(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        append_trajectories(path, [make_trajectory(0, 3)])
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xfe not unicode\n")
+        reader = TrajectoryStreamReader(path)
+        with pytest.raises(ValueError, match=r"line 2"):
+            reader.poll()
+
+    def test_max_records_and_iter(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        append_trajectories(path, [make_trajectory(i, 3) for i in range(5)])
+        reader = TrajectoryStreamReader(path)
+        assert len(reader.poll(max_records=2)) == 2
+        assert [t.trajectory_id for t in reader] == [2, 3, 4]
+        with pytest.raises(ValueError):
+            reader.poll(max_records=0)
+
+
+class TestMicroBatcher:
+    def test_bucket_fills_emit_batches(self):
+        batcher = MicroBatcher(batch_size=3, bucket_width=10)
+        emitted = []
+        # lengths 4, 5, 6 share bucket 0; 25 lands in bucket 2.
+        for i, length in enumerate([4, 25, 5, 6]):
+            batch = batcher.add(make_trajectory(i, length))
+            if batch is not None:
+                emitted.append(batch)
+        assert len(emitted) == 1
+        assert [len(t) for t in emitted[0]] == [4, 5, 6]
+        assert batcher.pending == 1
+
+    def test_flush_drains_partials_shortest_first(self):
+        batcher = MicroBatcher(batch_size=10, bucket_width=10)
+        for i, length in enumerate([35, 4, 22, 5]):
+            assert batcher.add(make_trajectory(i, length)) is None
+        batches = batcher.flush()
+        assert [[len(t) for t in batch] for batch in batches] == [[4, 5], [22], [35]]
+        assert batcher.pending == 0
+        assert batcher.flush() == []
+
+    def test_add_many_yields_batches(self):
+        batcher = MicroBatcher(batch_size=2, bucket_width=1000)
+        batches = list(batcher.add_many(make_trajectory(i, 5) for i in range(5)))
+        assert [len(b) for b in batches] == [2, 2]
+        assert batcher.pending == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(bucket_width=0)
+
+
+class TestShardedIndexBitIdentity:
+    """The acceptance gate: sharded == monolithic, bit for bit."""
+
+    CHUNK = 16
+
+    @pytest.mark.parametrize("k", [1, 5, 17])
+    @pytest.mark.parametrize("capacity", [16, 48, 80, 256])  # 19, 7, 4, 2 shards
+    def test_topk_bit_identical_across_shard_counts(self, rng, k, capacity):
+        database = rng.standard_normal((300, 24)).astype(np.float32)
+        queries = rng.standard_normal((40, 24)).astype(np.float32)
+        mono = SimilarityIndex(database, database_chunk_size=self.CHUNK).topk(queries, k)
+        sharded = ShardedIndex.from_vectors(
+            database, shard_capacity=capacity, database_chunk_size=self.CHUNK
+        )
+        assert sharded.num_shards == -(-300 // capacity)
+        result = sharded.top_k(queries, k)
+        np.testing.assert_array_equal(result.indices, mono.indices)
+        # Bitwise, not approximate: same float32 words.
+        assert (
+            result.distances.view(np.uint32) == mono.distances.view(np.uint32)
+        ).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        rows=st.integers(5, 200),
+        dim=st.integers(2, 48),
+        k=st.integers(1, 12),
+        chunk=st.integers(4, 64),
+        capacity_multiple=st.integers(1, 6),
+    )
+    def test_topk_bit_identity_property(self, seed, rows, dim, k, chunk, capacity_multiple):
+        rng = np.random.default_rng(seed)
+        database = rng.standard_normal((rows, dim)).astype(np.float32)
+        queries = rng.standard_normal((9, dim)).astype(np.float32)
+        mono = SimilarityIndex(database, database_chunk_size=chunk).topk(queries, k)
+        sharded = ShardedIndex.from_vectors(
+            database,
+            shard_capacity=chunk * capacity_multiple,
+            database_chunk_size=chunk,
+        )
+        result = sharded.top_k(queries, k)
+        np.testing.assert_array_equal(result.indices, mono.indices)
+        assert (
+            result.distances.view(np.uint32) == mono.distances.view(np.uint32)
+        ).all()
+
+    def test_ranks_of_matches_monolithic(self, rng):
+        database = rng.standard_normal((200, 12)).astype(np.float32)
+        queries = rng.standard_normal((30, 12)).astype(np.float32)
+        truth = rng.integers(0, 200, size=30)
+        mono = SimilarityIndex(database, database_chunk_size=32).ranks_of(queries, truth)
+        sharded = ShardedIndex.from_vectors(
+            database, shard_capacity=64, database_chunk_size=32
+        )
+        np.testing.assert_array_equal(sharded.ranks_of(queries, truth), mono)
+
+
+class TestShardedIndexMutation:
+    def test_add_assigns_sequential_ids_and_seals_shards(self, rng):
+        index = ShardedIndex(shard_capacity=10)
+        first = index.add(rng.standard_normal((25, 4)).astype(np.float32))
+        np.testing.assert_array_equal(first, np.arange(25))
+        assert index.num_shards == 3
+        assert [len(s) for s in index.shards] == [10, 10, 5]
+        second = index.add(rng.standard_normal((7, 4)).astype(np.float32))
+        np.testing.assert_array_equal(second, np.arange(25, 32))
+        # appends fill the open shard before opening a new one
+        assert [len(s) for s in index.shards] == [10, 10, 10, 2]
+
+    def test_add_validates(self, rng):
+        index = ShardedIndex(shard_capacity=10)
+        index.add(rng.standard_normal((3, 4)).astype(np.float32))
+        with pytest.raises(ValueError):
+            index.add(rng.standard_normal((2, 5)).astype(np.float32))  # dim mismatch
+        with pytest.raises(ValueError):
+            index.add(rng.standard_normal((2, 4)).astype(np.float32), ids=np.array([0, 9]))
+        with pytest.raises(ValueError):
+            index.add(rng.standard_normal((2, 4)).astype(np.float32), ids=np.array([7, 7]))
+
+    def test_remove_excludes_rows_and_clamps_k(self, rng):
+        database = rng.standard_normal((40, 6)).astype(np.float32)
+        index = ShardedIndex.from_vectors(database, shard_capacity=16)
+        removed = index.remove(np.arange(0, 35))
+        assert removed == 35
+        assert len(index) == 5
+        assert index.tombstone_count == 35
+        result = index.top_k(rng.standard_normal((3, 6)).astype(np.float32), k=20)
+        assert result.indices.shape == (3, 5)  # clamped to alive rows
+        assert (result.indices >= 35).all()
+        assert np.isfinite(result.distances).all()
+        # idempotent: already-dead rows do not count again
+        assert index.remove(np.arange(0, 35)) == 0
+
+    def test_ranks_of_rejects_dead_truth(self, rng):
+        index = ShardedIndex.from_vectors(rng.standard_normal((10, 4)).astype(np.float32))
+        index.remove([3])
+        with pytest.raises(ValueError, match="alive"):
+            index.ranks_of(rng.standard_normal((1, 4)).astype(np.float32), np.array([3]))
+        with pytest.raises(ValueError):
+            index.ranks_of(rng.standard_normal((1, 4)).astype(np.float32), np.array([99]))
+
+    def test_compact_reclaims_tombstones_and_preserves_answers(self, rng):
+        database = rng.standard_normal((100, 8)).astype(np.float32)
+        queries = rng.standard_normal((11, 8)).astype(np.float32)
+        index = ShardedIndex.from_vectors(
+            database, shard_capacity=16, database_chunk_size=16
+        )
+        index.remove(np.arange(0, 100, 2))  # half the rows
+        before = index.top_k(queries, k=7)
+        generation = index.generation
+        assert index.compact() is True
+        assert index.generation == generation + 1
+        assert index.tombstone_count == 0
+        assert index.num_shards == 4  # 50 survivors / 16
+        after = index.top_k(queries, k=7)
+        np.testing.assert_array_equal(after.indices, before.indices)
+        np.testing.assert_array_equal(after.distances, before.distances)
+        # survivors keep their ids; the freed memory is actually gone
+        assert sum(len(s) for s in index.shards) == 50
+        assert index.compact() is False  # nothing left to reclaim
+
+    def test_compacted_index_matches_monolithic_on_survivors(self, rng):
+        database = rng.standard_normal((90, 8)).astype(np.float32)
+        queries = rng.standard_normal((9, 8)).astype(np.float32)
+        index = ShardedIndex.from_vectors(
+            database, shard_capacity=32, database_chunk_size=16
+        )
+        dead = rng.choice(90, size=30, replace=False)
+        index.remove(dead)
+        index.compact()
+        survivors = np.setdiff1d(np.arange(90), dead)
+        mono = SimilarityIndex(database[survivors], database_chunk_size=16).topk(queries, 5)
+        result = index.top_k(queries, 5)
+        # monolithic reports positions among survivors; the shards report ids
+        np.testing.assert_array_equal(result.indices, survivors[mono.indices])
+        assert (
+            result.distances.view(np.uint32) == mono.distances.view(np.uint32)
+        ).all()
+
+    def test_empty_index_queries(self):
+        index = ShardedIndex(dim=4)
+        assert len(index) == 0
+        result = index.top_k(np.zeros((3, 4), dtype=np.float32), k=5)
+        assert result.indices.shape == (3, 0)
+        with pytest.raises(ValueError):
+            index.top_k(np.zeros((3, 4), dtype=np.float32), k=0)
+
+
+class TestIngestService:
+    def test_ingest_encodes_each_trajectory_exactly_once(self, tmp_path):
+        seen: list[int] = []
+
+        def counting_encode(batch):
+            seen.extend(t.trajectory_id for t in batch)
+            return id_encode(batch)
+
+        path = tmp_path / "arrivals.jsonl"
+        reader = TrajectoryStreamReader(path)
+        service = IngestService(
+            counting_encode, shard_capacity=8, batch_size=4, bucket_width=8
+        )
+        append_trajectories(path, [make_trajectory(i, 3 + i % 9) for i in range(10)])
+        assert service.drain(reader) == 10
+        append_trajectories(path, [make_trajectory(i, 3 + i % 9) for i in range(10, 16)])
+        assert service.drain(reader) == 6
+        assert sorted(seen) == list(range(16))  # once each, never re-encoded
+        assert len(service) == 16
+
+    def test_incremental_append_does_not_touch_sealed_shards(self, rng):
+        service = IngestService(id_encode, shard_capacity=4, batch_size=4)
+        service.ingest([make_trajectory(i, 5) for i in range(8)])
+        sealed = service.index.shards[:2]
+        sealed_lengths = [len(s) for s in sealed]
+        service.ingest([make_trajectory(i, 5) for i in range(8, 14)])
+        # the sealed shard objects are the same objects, same row counts
+        assert service.index.shards[:2] == sealed
+        assert [len(s) for s in sealed] == sealed_lengths
+
+    def test_row_ids_map_back_to_trajectory_ids(self):
+        service = IngestService(id_encode, batch_size=3, bucket_width=4)
+        trajectories = [make_trajectory(100 + i, 3 + 2 * i) for i in range(7)]
+        service.ingest(trajectories)
+        result = service.top_k(id_encode(trajectories), k=1)
+        matched = service.trajectory_ids(result.indices[:, 0])
+        np.testing.assert_array_equal(matched, [100 + i for i in range(7)])
+
+    def test_query_cache_hits_and_invalidates_on_mutation(self):
+        service = IngestService(id_encode, cache_size=4)
+        service.ingest([make_trajectory(i, 4) for i in range(6)])
+        queries = id_encode([make_trajectory(0, 4)])
+        first = service.top_k(queries, k=2)
+        assert service.cache_stats == {"hits": 0, "misses": 1, "entries": 1}
+        second = service.top_k(queries, k=2)
+        assert second is first  # served from the LRU
+        assert service.cache_stats["hits"] == 1
+        # shared objects are frozen: one caller cannot poison another's answer
+        with pytest.raises(ValueError):
+            first.indices[0, 0] = 99
+        service.ingest([make_trajectory(99, 4)])  # generation bump
+        third = service.top_k(queries, k=2)
+        assert third is not first
+        assert service.cache_stats["misses"] == 2
+        # different k is a different entry
+        service.top_k(queries, k=1)
+        assert service.cache_stats["misses"] == 3
+
+    def test_remove_drops_mapping_and_results(self):
+        service = IngestService(id_encode)
+        trajectories = [make_trajectory(i, 4 + i) for i in range(5)]
+        service.ingest(trajectories)
+        assert service.remove([0, 1]) == 2
+        assert len(service) == 3
+        result = service.top_k(id_encode(trajectories), k=3)
+        assert (result.indices >= 2).all()
+
+    def test_snapshot_restore_round_trip(self, tmp_path, rng):
+        service = IngestService(
+            id_encode, shard_capacity=4, batch_size=3, metadata={"model": "test"}
+        )
+        trajectories = [make_trajectory(200 + i, 3 + i % 6) for i in range(11)]
+        service.ingest(trajectories)
+        service.remove([1, 5])
+        queries = rng.standard_normal((6, 3)).astype(np.float32)
+        expected = service.top_k(queries, k=4)
+
+        snapshot_dir = service.snapshot(tmp_path / "snap")
+        restored = IngestService.restore(snapshot_dir, id_encode)
+        assert restored.metadata == {"model": "test"}
+        assert len(restored) == len(service)
+        result = restored.top_k(queries, k=4)
+        np.testing.assert_array_equal(result.indices, expected.indices)
+        assert (
+            result.distances.view(np.uint32) == expected.distances.view(np.uint32)
+        ).all()
+        np.testing.assert_array_equal(
+            restored.trajectory_ids(result.indices), service.trajectory_ids(expected.indices)
+        )
+        # new rows after restore continue the id sequence, not reuse dead ids
+        new_ids = restored.index.add(np.zeros((1, 3), dtype=np.float32))
+        assert new_ids[0] == 11
+
+    def test_snapshot_restore_empty_service(self, tmp_path):
+        service = IngestService(id_encode)
+        restored = IngestService.restore(service.snapshot(tmp_path / "snap"), id_encode)
+        assert len(restored) == 0
+
+    def test_restore_refuses_future_format(self, tmp_path):
+        service = IngestService(id_encode)
+        service.ingest([make_trajectory(0, 4)])
+        snapshot_dir = service.snapshot(tmp_path / "snap")
+        manifest_path = snapshot_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            IngestService.restore(snapshot_dir, id_encode)
+        with pytest.raises(ValueError, match="snapshot"):
+            IngestService.restore(tmp_path / "nowhere", id_encode)

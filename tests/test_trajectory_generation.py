@@ -200,3 +200,27 @@ class TestPresetsAndIO:
         assert len(loaded) == 20
         assert loaded[0].roads == dataset[0].roads
         assert loaded[0].timestamps == pytest.approx(dataset[0].timestamps)
+
+    def test_load_tolerates_blank_lines(self, tmp_path, small_network, generated):
+        dataset = TrajectoryDataset(small_network, generated.trajectories[:4], name="blanks")
+        save_dataset(dataset, tmp_path / "ds")
+        jsonl = (tmp_path / "ds" / "trajectories.jsonl").read_text().splitlines()
+        patched = [jsonl[0], "", jsonl[1], "   ", jsonl[2], jsonl[3], ""]
+        (tmp_path / "ds" / "trajectories.jsonl").write_text("\n".join(patched) + "\n")
+        assert len(load_dataset(tmp_path / "ds")) == 4
+
+    def test_load_names_line_number_on_corrupt_record(self, tmp_path, small_network, generated):
+        dataset = TrajectoryDataset(small_network, generated.trajectories[:3], name="corrupt")
+        save_dataset(dataset, tmp_path / "ds")
+        with open(tmp_path / "ds" / "trajectories.jsonl", "a") as handle:
+            handle.write("{definitely not json}\n")
+        with pytest.raises(ValueError, match=r"line 4"):
+            load_dataset(tmp_path / "ds")
+
+    def test_load_names_line_number_on_missing_field(self, tmp_path, small_network, generated):
+        dataset = TrajectoryDataset(small_network, generated.trajectories[:2], name="missing")
+        save_dataset(dataset, tmp_path / "ds")
+        with open(tmp_path / "ds" / "trajectories.jsonl", "a") as handle:
+            handle.write('{"roads": [1], "timestamps": [1.0]}\n')  # no user_id etc.
+        with pytest.raises(ValueError, match=r"line 3"):
+            load_dataset(tmp_path / "ds")
