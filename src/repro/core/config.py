@@ -48,6 +48,15 @@ class StartConfig:
     road_encoder: str = "tpe-gat"
     use_transfer_prob: bool = True
 
+    # Content-embedding scale applied before the sinusoidal position table is
+    # added (Equation 5).  The TPE-GAT road signal has RMS ~0.2 against the
+    # position table's ~0.7, so without rescaling the [CLS] representation
+    # learns sequence *shape* instead of road *content* and similarity search
+    # collapses; pure sqrt(d) scaling (the original Transformer recipe)
+    # overshoots the other way and starves travel-time estimation of the
+    # length/position signal.  2.0 balances the two tasks at smoke scale.
+    embedding_scale: float = 2.0
+
     # Temporal modules.
     use_time_embedding: bool = True
     use_time_interval: bool = True
@@ -88,6 +97,8 @@ class StartConfig:
             raise ValueError(f"unknown interval_decay '{self.interval_decay}'")
         if not 0.0 <= self.loss_balance <= 1.0:
             raise ValueError("loss_balance (lambda) must be in [0, 1]")
+        if self.embedding_scale <= 0.0:
+            raise ValueError("embedding_scale must be positive")
         if not 0.0 < self.mask_ratio < 1.0:
             raise ValueError("mask_ratio must be in (0, 1)")
         if not self.use_mask_loss and not self.use_contrastive_loss:

@@ -28,6 +28,7 @@ from repro.nn import (
     Tensor,
     clip_grad_norm,
     cross_entropy,
+    length_bucketed_indices,
     mse_loss,
     no_grad,
 )
@@ -63,6 +64,11 @@ class FinetuneHistory:
     """Per-epoch training loss of a fine-tuning run."""
 
     loss: list[float] = field(default_factory=list)
+
+
+def _length_bucketed_batches(trajectories: list[Trajectory], batch_size: int):
+    """Index batches over the length-sorted order (shared serving helper)."""
+    return length_bucketed_indices([len(t) for t in trajectories], batch_size)
 
 
 class TravelTimeEstimator:
@@ -121,18 +127,18 @@ class TravelTimeEstimator:
 
     def predict(self, trajectories: list[Trajectory]) -> np.ndarray:
         """Predicted travel times in seconds."""
+        if not trajectories:
+            return np.zeros(0)
         self.model.eval()
         self.head.eval()
-        outputs: list[np.ndarray] = []
+        predictions = np.empty(len(trajectories), dtype=np.float64)
         with no_grad():
-            for start in range(0, len(trajectories), self.config.batch_size):
-                chunk = trajectories[start : start + self.config.batch_size]
+            for rows in _length_bucketed_batches(trajectories, self.config.batch_size):
+                chunk = [trajectories[i] for i in rows]
                 batch = self.builder.build(chunk, span_mask=False, time_mode="departure_only")
                 _, pooled = self.model(batch)
-                outputs.append(self.head(pooled).data)
-        if not outputs:
-            return np.zeros(0)
-        return self._denormalise(np.concatenate(outputs, axis=0))
+                predictions[rows] = self.head(pooled).data
+        return self._denormalise(predictions)
 
 
 class TrajectoryClassifier:
@@ -187,19 +193,18 @@ class TrajectoryClassifier:
 
     def predict_proba(self, trajectories: list[Trajectory]) -> np.ndarray:
         """``(N, num_classes)`` class probabilities."""
+        if not trajectories:
+            return np.zeros((0, self.num_classes))
         self.model.eval()
         self.head.eval()
-        outputs: list[np.ndarray] = []
+        probabilities = np.empty((len(trajectories), self.num_classes), dtype=np.float64)
         with no_grad():
-            for start in range(0, len(trajectories), self.config.batch_size):
-                chunk = trajectories[start : start + self.config.batch_size]
+            for rows in _length_bucketed_batches(trajectories, self.config.batch_size):
+                chunk = [trajectories[i] for i in rows]
                 batch = self.builder.build(chunk, span_mask=False, label_kind=self.label_kind)
                 _, pooled = self.model(batch)
-                probs = self.head(pooled).softmax(axis=-1)
-                outputs.append(probs.data)
-        if not outputs:
-            return np.zeros((0, self.num_classes))
-        return np.concatenate(outputs, axis=0)
+                probabilities[rows] = self.head(pooled).softmax(axis=-1).data
+        return probabilities
 
     def predict(self, trajectories: list[Trajectory]) -> np.ndarray:
         """Predicted class ids."""

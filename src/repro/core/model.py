@@ -30,6 +30,7 @@ from repro.nn import (
     TransformerEncoder,
     concatenate,
     embedding_lookup,
+    is_grad_enabled,
     no_grad,
 )
 from repro.roadnet.features import road_feature_matrix
@@ -111,15 +112,40 @@ class STARTModel(Module):
             rng=rng,
         )
         self.mask_head = Linear(self.config.d_model, self.num_roads, rng=rng)
+        # Frozen-weights road-representation cache used on the no-grad
+        # inference path (invalidated whenever the model re-enters train mode
+        # or loads new weights).
+        self._road_cache: Tensor | None = None
 
     # ------------------------------------------------------------------ #
     # Building blocks
     # ------------------------------------------------------------------ #
     def road_representations(self) -> Tensor:
-        """``(V, d)`` road representation matrix (stage-one output)."""
-        if self.road_encoder is not None:
-            return self.road_encoder()
-        return embedding_lookup(self.road_embedding.weight, np.arange(self.num_roads))
+        """``(V, d)`` road representation matrix (stage-one output).
+
+        On the no-grad inference path (eval mode inside ``no_grad()``) the
+        matrix is a pure function of frozen weights, so it is computed once
+        and cached until the model re-enters train mode or loads a new state
+        dict.  Bulk encoding and streaming ingest hit this path for every
+        micro-batch; without the cache the full TPE-GAT sweep dominated
+        their cost.
+        """
+        if self.road_encoder is None:
+            return embedding_lookup(self.road_embedding.weight, np.arange(self.num_roads))
+        if not self.training and not is_grad_enabled():
+            if self._road_cache is None:
+                self._road_cache = self.road_encoder()
+            return self._road_cache
+        return self.road_encoder()
+
+    def train(self, mode: bool = True) -> "STARTModel":
+        if mode:
+            self._road_cache = None
+        return super().train(mode)
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        self._road_cache = None
+        super().load_state_dict(state, strict=strict)
 
     def _token_table(self) -> Tensor:
         """``(num_specials + V, d)`` lookup table for token embeddings."""
@@ -131,12 +157,25 @@ class STARTModel(Module):
             axis=0,
         )
 
-    def _fuse_embeddings(self, batch: TrajectoryBatch, force_dropout: bool) -> Tensor:
-        """Equation (5): x_i = r_i + tm_i + td_i + pe_i (plus embedding dropout)."""
-        table = self._token_table()
+    def _fuse_embeddings(
+        self, batch: TrajectoryBatch, force_dropout: bool, token_table: Tensor | None = None
+    ) -> Tensor:
+        """Equation (5): x_i = r_i + tm_i + td_i + pe_i (plus embedding dropout).
+
+        The content embeddings are scaled by ``config.embedding_scale``
+        before the sinusoidal position encoding is added.  Without it the
+        position table (RMS ~0.7) drowns the road-identity signal coming out
+        of the TPE-GAT (RMS ~0.2) and the [CLS] representation learns
+        sequence *shape* instead of *content*, which is exactly what the
+        similarity-search task punishes; see the config field for why the
+        factor is moderate rather than the Transformer's sqrt(d).
+        """
+        table = token_table if token_table is not None else self._token_table()
         embedded = embedding_lookup(table, batch.tokens)
         if self.time_embedding is not None:
             embedded = embedded + self.time_embedding(batch.minute_indices, batch.day_indices)
+        if self.config.embedding_scale != 1.0:
+            embedded = embedded * float(self.config.embedding_scale)
         embedded = self.positional_encoding(embedded)
         if force_dropout and not self.training:
             # SimCSE-style augmentation needs dropout noise even in eval mode.
@@ -159,13 +198,23 @@ class STARTModel(Module):
     # ------------------------------------------------------------------ #
     # Forward passes
     # ------------------------------------------------------------------ #
-    def forward(self, batch: TrajectoryBatch) -> tuple[Tensor, Tensor]:
+    def forward(
+        self, batch: TrajectoryBatch, token_table: Tensor | None = None
+    ) -> tuple[Tensor, Tensor]:
         """Return ``(sequence_output, pooled)`` for a batch.
 
         ``sequence_output`` is ``(B, L, d)`` and ``pooled`` is the ``[CLS]``
         hidden state ``(B, d)`` — the trajectory representation ``p_i``.
+
+        ``token_table`` lets callers that run several forwards against the
+        same weights (the pre-trainer's mask + two contrastive views, bulk
+        encoding) compute the stage-one road table once and share the graph
+        node; gradients still accumulate correctly because autograd handles
+        reused subgraphs.
         """
-        embedded = self._fuse_embeddings(batch, force_dropout=batch.use_embedding_dropout)
+        embedded = self._fuse_embeddings(
+            batch, force_dropout=batch.use_embedding_dropout, token_table=token_table
+        )
         bias = self._attention_bias(batch)
         hidden = self.encoder(embedded, attention_bias=bias, key_padding_mask=batch.padding_mask)
         pooled = hidden[:, 0, :]
@@ -203,10 +252,11 @@ class STARTModel(Module):
         self.eval()
         outputs: list[np.ndarray] = []
         with no_grad():
+            table = self._token_table()  # one stage-one sweep for all batches
             for start in range(0, len(trajectories), batch_size):
                 chunk = trajectories[start : start + batch_size]
                 batch = builder.build(chunk, span_mask=False, time_mode=time_mode)
-                _, pooled = self.forward(batch)
+                _, pooled = self.forward(batch, token_table=table)
                 outputs.append(pooled.data.astype(np.float32))
         if was_training:
             self.train()

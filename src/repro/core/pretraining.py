@@ -62,15 +62,15 @@ class Pretrainer:
     # ------------------------------------------------------------------ #
     # Loss terms
     # ------------------------------------------------------------------ #
-    def _mask_loss(self, trajectories: list[Trajectory]):
+    def _mask_loss(self, trajectories: list[Trajectory], token_table=None):
         batch = self.builder.build(trajectories, span_mask=True)
-        sequence_output, _ = self.model(batch)
+        sequence_output, _ = self.model(batch, token_table=token_table)
         logits = self.model.mask_logits(sequence_output)
         flat_logits = logits.reshape(batch.batch_size * batch.seq_len, self.model.num_roads)
         flat_labels = batch.mask_labels.reshape(-1)
         return cross_entropy(flat_logits, flat_labels, ignore_index=tok.IGNORE_LABEL)
 
-    def _contrastive_loss(self, trajectories: list[Trajectory]):
+    def _contrastive_loss(self, trajectories: list[Trajectory], token_table=None):
         first_name, second_name = self.config.augmentations
         first_views, second_views = [], []
         for trajectory in trajectories:
@@ -79,8 +79,8 @@ class Pretrainer:
             second_views.append(second)
         batch_a = self.builder.build_from_views(first_views)
         batch_b = self.builder.build_from_views(second_views)
-        _, pooled_a = self.model(batch_a)
-        _, pooled_b = self.model(batch_b)
+        _, pooled_a = self.model(batch_a, token_table=token_table)
+        _, pooled_b = self.model(batch_b, token_table=token_table)
         return nt_xent_loss(pooled_a, pooled_b, temperature=self.config.temperature)
 
     # ------------------------------------------------------------------ #
@@ -106,10 +106,15 @@ class Pretrainer:
             self.model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
         )
         batches_per_epoch = max(len(trajectories) // config.batch_size, 1)
+        # Clamp the warm-up below the total step count: a 1-epoch run (the
+        # Figure 10 smoke setting) would otherwise ask for warmup == total
+        # and crash the scheduler's validation.
+        total_steps = max(epochs * batches_per_epoch, 2)
+        warmup_steps = min(max(config.warmup_epochs * batches_per_epoch, 1), total_steps - 1)
         schedule = WarmupCosineSchedule(
             optimizer,
-            warmup_steps=max(config.warmup_epochs * batches_per_epoch, 1),
-            total_steps=max(epochs * batches_per_epoch, 2),
+            warmup_steps=warmup_steps,
+            total_steps=total_steps,
         )
         history = PretrainingHistory()
         lambda_mask = config.loss_balance
@@ -126,16 +131,21 @@ class Pretrainer:
                     continue
                 optimizer.zero_grad()
                 mask_value, con_value = 0.0, 0.0
+                # One stage-one sweep per step: the mask forward and the two
+                # contrastive-view forwards share the same token-table graph
+                # node, so the TPE-GAT runs (and back-propagates) once
+                # instead of three times.
+                token_table = self.model._token_table()
                 if config.use_mask_loss and config.use_contrastive_loss:
-                    mask_loss = self._mask_loss(chunk)
-                    con_loss = self._contrastive_loss(chunk)
+                    mask_loss = self._mask_loss(chunk, token_table)
+                    con_loss = self._contrastive_loss(chunk, token_table)
                     loss = mask_loss * lambda_mask + con_loss * (1.0 - lambda_mask)
                     mask_value, con_value = mask_loss.item(), con_loss.item()
                 elif config.use_mask_loss:
-                    loss = self._mask_loss(chunk)
+                    loss = self._mask_loss(chunk, token_table)
                     mask_value = loss.item()
                 else:
-                    loss = self._contrastive_loss(chunk)
+                    loss = self._contrastive_loss(chunk, token_table)
                     con_value = loss.item()
                 loss.backward()
                 clip_grad_norm(self.model.parameters(), config.gradient_clip)

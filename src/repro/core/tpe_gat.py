@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.nn import Module, ModuleList, Parameter, Tensor, concatenate
 from repro.nn import init as nn_init
+from repro.nn.tensor import gather_rows
 from repro.roadnet.network import RoadNetwork
 from repro.utils.seeding import get_rng
 
@@ -59,6 +60,15 @@ class _AttentionGraph:
         scatter = np.zeros((self.num_nodes, self.num_edges), dtype=np.float32)
         scatter[self.destination, np.arange(self.num_edges)] = 1.0
         self.scatter = scatter
+        # Same structure keyed by the edge *source*, used as the matmul
+        # backward of the source-side edge gathers (see gather_rows).  Like
+        # the destination matrix above it is dense V x E — fine at the
+        # synthetic-city scale this module documents; a sparse kernel (and
+        # gather_rows' scatter_matrix=None fallback) is the upgrade path for
+        # very large networks.
+        scatter_source = np.zeros((self.num_nodes, self.num_edges), dtype=np.float32)
+        scatter_source[self.source, np.arange(self.num_edges)] = 1.0
+        self.scatter_source = scatter_source
 
 
 class TPEGATHead(Module):
@@ -79,8 +89,8 @@ class TPEGATHead(Module):
 
         # e_ij for every (destination i, source j) pair in the neighbourhood list.
         edge_features = (
-            projected_self[graph.destination]
-            + projected_neighbor[graph.source]
+            gather_rows(projected_self, graph.destination, graph.scatter)
+            + gather_rows(projected_neighbor, graph.source, graph.scatter_source)
             + transfer_term
         )
         scores = (edge_features @ self.weight_score).leaky_relu(0.2)  # (E, 1)
@@ -91,10 +101,10 @@ class TPEGATHead(Module):
         np.maximum.at(max_per_node[:, 0], graph.destination, scores.data.reshape(-1))
         shifted = scores - Tensor(max_per_node.astype(np.float32))[graph.destination]
         exp_scores = shifted.exp()
-        normaliser = (scatter @ exp_scores)[graph.destination]  # (E, 1)
+        normaliser = gather_rows(scatter @ exp_scores, graph.destination, graph.scatter)  # (E, 1)
         attention = exp_scores / (normaliser + 1e-12)
 
-        values = (features @ self.weight_value)[graph.source]   # (E, out)
+        values = gather_rows(features @ self.weight_value, graph.source, graph.scatter_source)  # (E, out)
         aggregated = scatter @ (attention * values)              # (V, out)
         return aggregated.elu()
 

@@ -61,11 +61,14 @@ def run_table2(
 
     rows: list[dict] = []
     for name, model, config in pretrained_model_zoo(dataset, zoo_settings, names=settings.models):
+        # Similarity search uses the *pre-trained* representations (the paper
+        # fine-tunes nothing for this task), so it must run before the ETA
+        # and classification fine-tunings mutate the shared encoder in place.
+        similarity = run_similarity_task(model, dataset, task_settings, seed=config.seed)
         eta = run_travel_time_task(model, dataset, config, task_settings)
         classification = run_classification_task(
             model, dataset, config, label_kind=label_kind, num_classes=num_classes, settings=task_settings
         )
-        similarity = run_similarity_task(model, dataset, task_settings, seed=config.seed)
         row = {"Model": name, "Dataset": dataset_name}
         row.update(merge_reports({"ETA": eta, "CLS": classification, "SIM": similarity}))
         rows.append(row)

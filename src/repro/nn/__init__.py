@@ -11,11 +11,13 @@ from repro.nn.tensor import (
     Tensor,
     concatenate,
     embedding_lookup,
+    is_grad_enabled,
     masked_fill,
     no_grad,
     stack,
     where,
 )
+from repro.nn import kernels
 from repro.nn.module import Module, ModuleList, Parameter, Sequential
 from repro.nn.layers import (
     Dropout,
@@ -48,7 +50,12 @@ from repro.nn.scheduler import (
     WarmupCosineSchedule,
 )
 from repro.nn.serialization import load_checkpoint, load_state, save_checkpoint
-from repro.nn.data import BatchIterator, pad_float_sequences, pad_sequences
+from repro.nn.data import (
+    BatchIterator,
+    length_bucketed_indices,
+    pad_float_sequences,
+    pad_sequences,
+)
 
 __all__ = [
     "Tensor",
@@ -58,6 +65,8 @@ __all__ = [
     "masked_fill",
     "embedding_lookup",
     "no_grad",
+    "is_grad_enabled",
+    "kernels",
     "Module",
     "ModuleList",
     "Parameter",
@@ -98,4 +107,5 @@ __all__ = [
     "pad_sequences",
     "pad_float_sequences",
     "BatchIterator",
+    "length_bucketed_indices",
 ]

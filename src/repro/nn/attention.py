@@ -4,18 +4,29 @@ The additive-bias hook is what the START model uses to inject its adaptive
 time-interval matrix (Equation 7 of the paper): the bias is added to the
 scaled dot-product scores *before* the softmax.  The same layer with a zero
 bias is the standard Transformer attention used by the baselines.
+
+Hot-path notes
+--------------
+The Q/K/V projections are packed into a single ``(d, 3d)`` parameter so the
+projection of a batch is one GEMM instead of three, and the query is scaled
+*before* the score GEMM so no ``(B, heads, L, L)`` score copy is needed for
+the scaling.  Under ``no_grad()`` in eval mode the layer (and the encoder
+layer around it) dispatches to the pure-NumPy kernels in
+:mod:`repro.nn.kernels`, which allocate no autograd machinery at all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import kernels
+from repro.nn.init import xavier_uniform, zeros
 from repro.nn.layers import Dropout, FeedForward, LayerNorm, Linear
-from repro.nn.module import Module
-from repro.nn.tensor import Tensor, masked_fill
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, is_grad_enabled, masked_fill
 from repro.utils.seeding import get_rng
 
-_NEG_INF = -1e9
+_NEG_INF = kernels.NEG_INF
 
 
 class MultiHeadSelfAttention(Module):
@@ -35,15 +46,19 @@ class MultiHeadSelfAttention(Module):
         self.d_model = d_model
         self.num_heads = num_heads
         self.d_head = d_model // num_heads
-        self.query_proj = Linear(d_model, d_model, rng=rng)
-        self.key_proj = Linear(d_model, d_model, rng=rng)
-        self.value_proj = Linear(d_model, d_model, rng=rng)
+        # One packed parameter for Q, K and V.  Drawing three (d, d) Xavier
+        # matrices keeps the per-projection fan-in/fan-out (and the RNG
+        # stream) identical to three separate Linear layers.
+        packed = np.concatenate(
+            [xavier_uniform((d_model, d_model), rng) for _ in range(3)], axis=1
+        )
+        self.qkv_weight = Parameter(packed)
+        self.qkv_bias = Parameter(zeros((3 * d_model,)))
         self.out_proj = Linear(d_model, d_model, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
-        """(batch, seq, d_model) -> (batch, heads, seq, d_head)."""
-        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+    def _fast_path(self) -> bool:
+        return not is_grad_enabled() and not self.training
 
     def forward(
         self,
@@ -68,12 +83,33 @@ class MultiHeadSelfAttention(Module):
         return_weights:
             If True also return the attention weights (averaged over heads).
         """
-        batch, seq, _ = x.shape
-        query = self._split_heads(self.query_proj(x), batch, seq)
-        key = self._split_heads(self.key_proj(x), batch, seq)
-        value = self._split_heads(self.value_proj(x), batch, seq)
+        if self._fast_path():
+            bias = attention_bias.data if isinstance(attention_bias, Tensor) else attention_bias
+            result = kernels.fused_attention(
+                x.data,
+                self.qkv_weight.data,
+                self.qkv_bias.data,
+                self.out_proj.weight.data,
+                self.out_proj.bias.data,
+                self.num_heads,
+                attention_bias=bias,
+                key_padding_mask=key_padding_mask,
+                return_weights=return_weights,
+            )
+            if return_weights:
+                output, weights = result
+                return Tensor(output), Tensor(weights)
+            return Tensor(result)
 
-        scores = (query @ key.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        batch, seq, _ = x.shape
+        qkv = x @ self.qkv_weight + self.qkv_bias  # (B, L, 3d)
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.d_head)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, heads, L, d_head)
+        query = qkv[0] * (1.0 / np.sqrt(self.d_head))
+        key = qkv[1]
+        value = qkv[2]
+
+        scores = query @ key.transpose(0, 1, 3, 2)
         if attention_bias is not None:
             scores = scores + attention_bias
         if key_padding_mask is not None:
@@ -117,6 +153,28 @@ class TransformerEncoderLayer(Module):
         attention_bias: Tensor | None = None,
         key_padding_mask: np.ndarray | None = None,
     ) -> Tensor:
+        if not is_grad_enabled() and not self.training:
+            # The attention module dispatches to its own fused kernel under
+            # the same gating; only the norm/FFN halves are inlined here.
+            attended = self.attention(
+                x, attention_bias=attention_bias, key_padding_mask=key_padding_mask
+            )
+            hidden = kernels.layer_norm(
+                x.data + attended.data, self.norm1.gamma.data, self.norm1.beta.data, self.norm1.eps
+            )
+            transformed = kernels.feed_forward(
+                hidden,
+                self.feed_forward.linear1.weight.data,
+                self.feed_forward.linear1.bias.data,
+                self.feed_forward.linear2.weight.data,
+                self.feed_forward.linear2.bias.data,
+            )
+            return Tensor(
+                kernels.layer_norm(
+                    hidden + transformed, self.norm2.gamma.data, self.norm2.beta.data, self.norm2.eps
+                )
+            )
+
         attended = self.attention(x, attention_bias=attention_bias, key_padding_mask=key_padding_mask)
         x = self.norm1(x + self.dropout(attended))
         transformed = self.feed_forward(x)

@@ -86,3 +86,20 @@ class BatchIterator:
             if self.drop_last and len(batch) < self.batch_size:
                 break
             yield batch
+
+
+def length_bucketed_indices(lengths: Sequence[int], batch_size: int) -> Iterator[np.ndarray]:
+    """Yield index batches over the length-sorted order (stable argsort).
+
+    Padding work in the encoders grows with the longest member of a batch,
+    so batching length-neighbours keeps short sequences out of wide batches.
+    The sort is stable, so equal-length items keep their relative order;
+    callers scatter results back through the yielded index arrays
+    (``EmbeddingStore.build`` and the fine-tuning ``predict`` sweeps share
+    this helper).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.argsort(np.asarray(lengths, dtype=np.int64), kind="stable")
+    for start in range(0, len(order), batch_size):
+        yield order[start : start + batch_size]

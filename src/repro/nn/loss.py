@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, concatenate, masked_fill
+from repro.nn.tensor import Tensor, concatenate, masked_fill, take_rows
 
 
 def cross_entropy(
@@ -30,7 +30,9 @@ def cross_entropy(
         valid = targets != ignore_index
         if not valid.any():
             return (logits * 0.0).sum()
-        logits = logits[np.where(valid)[0]]
+        # np.where yields unique rows, so the selection backward is a direct
+        # fancy-index write instead of an np.add.at scatter.
+        logits = take_rows(logits, np.where(valid)[0])
         targets = targets[valid]
 
     log_probs = logits.log_softmax(axis=-1)

@@ -4,15 +4,26 @@ traj2vec, t2vec, Trembr and PIM in the paper are built on RNN encoders or
 encoder-decoders; this module provides the cells and full-sequence wrappers
 they need, including packed-style handling of per-sequence lengths so padded
 positions do not contribute to the final hidden state.
+
+Hot-path notes
+--------------
+The full-sequence wrappers are time-parallel where the recurrence allows it:
+``x @ W_ih + b_ih`` for *all* timesteps is hoisted into a single GEMM outside
+the step loop (both in the autograd path and in the no-grad NumPy kernels in
+:mod:`repro.nn.kernels`), so the Python-level loop only carries the
+``(B, H) @ (H, 3H)`` recurrent half.  ``_gather_last`` and ``_reverse_time``
+are single fancy-indexing/strided expressions instead of per-row loops, and
+:class:`BiGRU` reverses each sequence *within its true length* so the
+backward direction never consumes padding first.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import init, kernels
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, concatenate, stack
+from repro.nn.tensor import Tensor, concatenate, is_grad_enabled, stack
 from repro.utils.seeding import get_rng
 
 
@@ -29,15 +40,18 @@ class GRUCell(Module):
         self.bias_ih = Parameter(init.zeros((3 * hidden_size,)))
         self.bias_hh = Parameter(init.zeros((3 * hidden_size,)))
 
-    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
-        """One step: ``x`` is (batch, input), ``hidden`` is (batch, hidden)."""
-        gates_x = x @ self.weight_ih + self.bias_ih
+    def step(self, gates_x: Tensor, hidden: Tensor) -> Tensor:
+        """One step from precomputed input gates ``x @ W_ih + b_ih``."""
         gates_h = hidden @ self.weight_hh + self.bias_hh
         h = self.hidden_size
         reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
         update = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
         candidate = (gates_x[:, 2 * h :] + reset * gates_h[:, 2 * h :]).tanh()
         return update * hidden + (1.0 - update) * candidate
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One step: ``x`` is (batch, input), ``hidden`` is (batch, hidden)."""
+        return self.step(x @ self.weight_ih + self.bias_ih, hidden)
 
 
 class LSTMCell(Module):
@@ -53,10 +67,10 @@ class LSTMCell(Module):
         self.bias_ih = Parameter(init.zeros((4 * hidden_size,)))
         self.bias_hh = Parameter(init.zeros((4 * hidden_size,)))
 
-    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
-        """One step; ``state`` is ``(hidden, cell)``."""
+    def step(self, gates_x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step from precomputed input gates ``x @ W_ih + b_ih``."""
         hidden, cell = state
-        gates = x @ self.weight_ih + self.bias_ih + hidden @ self.weight_hh + self.bias_hh
+        gates = gates_x + hidden @ self.weight_hh + self.bias_hh
         h = self.hidden_size
         input_gate = gates[:, :h].sigmoid()
         forget_gate = gates[:, h : 2 * h].sigmoid()
@@ -65,6 +79,10 @@ class LSTMCell(Module):
         new_cell = forget_gate * cell + input_gate * cell_candidate
         new_hidden = output_gate * new_cell.tanh()
         return new_hidden, new_cell
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step; ``state`` is ``(hidden, cell)``."""
+        return self.step(x @ self.weight_ih + self.bias_ih, state)
 
 
 class GRU(Module):
@@ -84,10 +102,29 @@ class GRU(Module):
         self, x: Tensor, lengths: np.ndarray | None = None, initial: Tensor | None = None
     ) -> tuple[Tensor, Tensor]:
         batch, seq_len, _ = x.shape
+        if not is_grad_enabled():
+            cell = self.cell
+            all_np = kernels.gru_sequence(
+                x.data,
+                cell.weight_ih.data,
+                cell.bias_ih.data,
+                cell.weight_hh.data,
+                cell.bias_hh.data,
+                initial=initial.data if initial is not None else None,
+            )
+            all_hidden = Tensor(all_np)
+            if lengths is None:
+                return all_hidden, Tensor(all_np[:, -1, :].copy())
+            return all_hidden, Tensor(kernels.gather_last(all_np, lengths))
+
         hidden = initial if initial is not None else Tensor.zeros((batch, self.hidden_size))
+        # One GEMM for the input half of every timestep's gates.
+        gates_x_all = (
+            x.reshape(batch * seq_len, -1) @ self.cell.weight_ih + self.cell.bias_ih
+        ).reshape(batch, seq_len, 3 * self.hidden_size)
         outputs: list[Tensor] = []
         for step in range(seq_len):
-            hidden = self.cell(x[:, step, :], hidden)
+            hidden = self.cell.step(gates_x_all[:, step, :], hidden)
             outputs.append(hidden)
         all_hidden = stack(outputs, axis=1)
         if lengths is None:
@@ -108,14 +145,32 @@ class LSTM(Module):
         self, x: Tensor, lengths: np.ndarray | None = None, initial: tuple[Tensor, Tensor] | None = None
     ) -> tuple[Tensor, Tensor]:
         batch, seq_len, _ = x.shape
+        if not is_grad_enabled():
+            cell = self.cell
+            all_np = kernels.lstm_sequence(
+                x.data,
+                cell.weight_ih.data,
+                cell.bias_ih.data,
+                cell.weight_hh.data,
+                cell.bias_hh.data,
+                initial=(initial[0].data, initial[1].data) if initial is not None else None,
+            )
+            all_hidden = Tensor(all_np)
+            if lengths is None:
+                return all_hidden, Tensor(all_np[:, -1, :].copy())
+            return all_hidden, Tensor(kernels.gather_last(all_np, lengths))
+
         if initial is None:
             hidden = Tensor.zeros((batch, self.hidden_size))
-            cell = Tensor.zeros((batch, self.hidden_size))
+            cell_state = Tensor.zeros((batch, self.hidden_size))
         else:
-            hidden, cell = initial
+            hidden, cell_state = initial
+        gates_x_all = (
+            x.reshape(batch * seq_len, -1) @ self.cell.weight_ih + self.cell.bias_ih
+        ).reshape(batch, seq_len, 4 * self.hidden_size)
         outputs: list[Tensor] = []
         for step in range(seq_len):
-            hidden, cell = self.cell(x[:, step, :], (hidden, cell))
+            hidden, cell_state = self.cell.step(gates_x_all[:, step, :], (hidden, cell_state))
             outputs.append(hidden)
         all_hidden = stack(outputs, axis=1)
         if lengths is None:
@@ -127,16 +182,19 @@ class LSTM(Module):
 def _gather_last(all_hidden: Tensor, lengths: np.ndarray) -> Tensor:
     """Pick the hidden state at position ``length-1`` for each sequence."""
     lengths = np.asarray(lengths, dtype=np.int64)
-    batch = all_hidden.shape[0]
-    rows = []
-    for index in range(batch):
-        last = max(int(lengths[index]) - 1, 0)
-        rows.append(all_hidden[index, last, :])
-    return stack(rows, axis=0)
+    last = np.maximum(lengths - 1, 0)
+    rows = np.arange(all_hidden.shape[0], dtype=np.int64)
+    return all_hidden[rows, last]
 
 
 class BiGRU(Module):
-    """Bidirectional GRU; forward and backward outputs are concatenated."""
+    """Bidirectional GRU; forward and backward outputs are concatenated.
+
+    With per-sequence ``lengths`` the time reversal happens *within each
+    sequence's true length* (padding stays in place), so the backward
+    direction consumes real steps first and its final state is the state
+    after reading the sequence start — not a function of padding.
+    """
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
         super().__init__()
@@ -146,9 +204,16 @@ class BiGRU(Module):
 
     def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
         forward_out, forward_final = self.forward_rnn(x, lengths)
-        reversed_x = Tensor(x.data[:, ::-1, :].copy(), requires_grad=False) if not x.requires_grad else _reverse_time(x)
+        if lengths is None:
+            reversed_x = _reverse_time(x)
+        else:
+            reversed_x = _reverse_within_lengths(x, lengths)
         backward_out, backward_final = self.backward_rnn(reversed_x, lengths)
-        backward_out = _reverse_time(backward_out)
+        # Un-reverse so backward_out[:, t] aligns with x[:, t].
+        if lengths is None:
+            backward_out = _reverse_time(backward_out)
+        else:
+            backward_out = _reverse_within_lengths(backward_out, lengths)
         outputs = concatenate([forward_out, backward_out], axis=-1)
         final = concatenate([forward_final, backward_final], axis=-1)
         return outputs, final
@@ -156,6 +221,15 @@ class BiGRU(Module):
 
 def _reverse_time(x: Tensor) -> Tensor:
     """Reverse a (batch, seq, d) tensor along the time axis, keeping gradients."""
-    seq_len = x.shape[1]
-    steps = [x[:, seq_len - 1 - i, :] for i in range(seq_len)]
-    return stack(steps, axis=1)
+    return x.flip(1)
+
+
+def _reverse_within_lengths(x: Tensor, lengths: np.ndarray) -> Tensor:
+    """Reverse each row of a (batch, seq, d) tensor within its true length.
+
+    Padding positions keep their place; the map is an involution (applying it
+    twice is the identity).
+    """
+    columns = kernels.reverse_within_lengths_index(lengths, x.shape[1])
+    rows = np.arange(x.shape[0], dtype=np.int64)[:, None]
+    return x[rows, columns]

@@ -67,6 +67,19 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """True when ``index`` uses only basic indexing (no integer/bool arrays).
+
+    Basic indexing never selects the same element twice, which lets the
+    gradient scatter use a plain ``+=`` instead of ``np.add.at``.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        item is None or item is Ellipsis or isinstance(item, (int, np.integer, slice))
+        for item in items
+    )
+
+
 def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
     if isinstance(value, (np.ndarray, np.generic)):
         # Preserve explicit floating dtypes (float64 is used by the
@@ -517,13 +530,29 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if basic:
+                # Basic (slice/int) indexing selects each element at most
+                # once, so a direct in-place add is safe and avoids the much
+                # slower element-wise ``np.add.at`` scatter.
+                full[index] += grad
+            else:
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
+
+    def flip(self, axis: int) -> "Tensor":
+        """Reverse along ``axis`` (a strided view forward, one copy backward)."""
+        out_data = np.flip(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.flip(grad, axis=axis))
+
+        return Tensor._make(np.ascontiguousarray(out_data), (self,), backward)
 
     # ------------------------------------------------------------------ #
     # Softmax family (numerically stable, fused backward)
@@ -630,6 +659,50 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         weight._accumulate(full)
 
     return Tensor._make(out_data, (weight,), backward)
+
+
+def take_rows(tensor: Tensor, rows: np.ndarray) -> Tensor:
+    """Select *unique* rows of a 2-D tensor.
+
+    The caller guarantees ``rows`` has no repeated index (e.g. the output of
+    ``np.where`` on a boolean row mask), which lets the backward pass use a
+    direct fancy-index assignment instead of the much slower element-wise
+    ``np.add.at`` scatter.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    out_data = tensor.data[rows]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        full[rows] = grad
+        tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def gather_rows(tensor: Tensor, indices: np.ndarray, scatter_matrix: np.ndarray | None) -> Tensor:
+    """Row gather with (possibly repeated) ``indices`` and a matmul backward.
+
+    ``scatter_matrix`` is the constant one-hot ``(num_rows, len(indices))``
+    matrix with ``scatter_matrix[indices[e], e] = 1``; the gradient of the
+    gather is ``scatter_matrix @ grad``, a BLAS GEMM instead of an
+    ``np.add.at`` scatter.  Used by the TPE-GAT edge gathers, whose scatter
+    structure is fixed per graph.  Pass ``None`` (graphs too large for a
+    dense one-hot) to fall back to the ``np.add.at`` scatter — identical
+    gradients, no O(rows x indices) memory.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = tensor.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if scatter_matrix is not None:
+            tensor._accumulate(scatter_matrix @ grad)
+        else:
+            full = np.zeros_like(tensor.data)
+            np.add.at(full, indices, grad)
+            tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
 
 
 def masked_fill(tensor: Tensor, mask: np.ndarray, value: float) -> Tensor:

@@ -11,7 +11,9 @@ and served forever.  :class:`EmbeddingStore` is that materialisation step:
   batch wastes ~400x on the short trip);
 * **no-grad inference** — encoding runs inside :func:`repro.nn.no_grad`
   whatever the encoder callable does internally, so no autodiff graph is
-  retained across a million-trajectory sweep;
+  retained across a million-trajectory sweep and the encoder's modules
+  dispatch to the pure-NumPy fast kernels in :mod:`repro.nn.kernels`
+  (fused attention, time-parallel recurrent sweeps) automatically;
 * **npz persistence with versioned metadata** — the on-disk format mirrors
   :mod:`repro.nn.serialization` (one array per field plus a JSON metadata
   blob) so stores survive process restarts and can be shipped to serving
@@ -25,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn import no_grad
+from repro.nn import length_bucketed_indices, no_grad
 from repro.serving.index import SimilarityIndex, as_float32_matrix
 
 #: Bump when the on-disk layout changes; readers refuse newer formats.
@@ -101,12 +103,11 @@ class EmbeddingStore:
             raise ValueError("batch_size must be >= 1")
         if not trajectories:
             raise ValueError("cannot build an EmbeddingStore from zero trajectories")
-        lengths = np.array([len(t) for t in trajectories], dtype=np.int64)
-        order = np.argsort(lengths, kind="stable")
         vectors: np.ndarray | None = None
         with no_grad():
-            for start in range(0, len(order), batch_size):
-                batch_rows = order[start : start + batch_size]
+            for batch_rows in length_bucketed_indices(
+                [len(t) for t in trajectories], batch_size
+            ):
                 batch = [trajectories[i] for i in batch_rows]
                 encoded = np.asarray(encode(batch), dtype=np.float32)
                 if encoded.shape[0] != len(batch):

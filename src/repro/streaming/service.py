@@ -4,7 +4,9 @@
 a running system.  It owns
 
 * an encoder callable (``STARTModel.encode`` or any baseline's ``encode``),
-  run under :func:`repro.nn.no_grad` on length-bucketed micro-batches;
+  run under :func:`repro.nn.no_grad` on length-bucketed micro-batches — which
+  selects the pure-NumPy inference kernels of :mod:`repro.nn.kernels` and,
+  for START, reuses the cached stage-one road table across micro-batches;
 * a :class:`~repro.streaming.shards.ShardedIndex` that the encoded vectors
   append into — existing shards are never re-encoded or re-indexed;
 * the row-id → ``trajectory_id`` mapping, so search results refer back to

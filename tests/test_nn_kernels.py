@@ -1,0 +1,401 @@
+"""Kernel-equivalence coverage for the fused/fast hot path.
+
+The fused attention (packed Q/K/V) and the time-parallel GRU/LSTM must
+reproduce the seed implementations — four separate projections and per-step
+Python loops — to ``rtol=1e-5`` for outputs *and* gradients, including ragged
+``lengths``.  The reference implementations below are straight ports of the
+seed code, driven off the *same* parameters as the modules under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    BiGRU,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoderLayer,
+    no_grad,
+    stack,
+)
+from repro.nn.rnn import _gather_last, _reverse_time, _reverse_within_lengths
+from repro.nn.tensor import gather_rows, masked_fill, take_rows
+from repro.utils.seeding import get_rng
+
+RTOL = 1e-5
+ATOL = 1e-5
+
+
+# --------------------------------------------------------------------- #
+# Reference (seed) implementations
+# --------------------------------------------------------------------- #
+def reference_attention(attn: MultiHeadSelfAttention, x, attention_bias=None, key_padding_mask=None):
+    """Seed implementation: separate Q/K/V projections, post-matmul scaling."""
+    batch, seq, _ = x.shape
+    d = attn.d_model
+    w = attn.qkv_weight
+    b = attn.qkv_bias
+
+    def split_heads(t):
+        return t.reshape(batch, seq, attn.num_heads, attn.d_head).transpose(0, 2, 1, 3)
+
+    query = split_heads(x @ w[:, :d] + b[:d])
+    key = split_heads(x @ w[:, d : 2 * d] + b[d : 2 * d])
+    value = split_heads(x @ w[:, 2 * d :] + b[2 * d :])
+    scores = (query @ key.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(attn.d_head))
+    if attention_bias is not None:
+        scores = scores + attention_bias
+    if key_padding_mask is not None:
+        mask = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+        mask = np.broadcast_to(mask, (batch, attn.num_heads, seq, seq))
+        scores = masked_fill(scores, mask, -1e9)
+    weights = scores.softmax(axis=-1)
+    context = (weights @ value).transpose(0, 2, 1, 3).reshape(batch, seq, d)
+    return attn.out_proj(context)
+
+
+def reference_gru(gru: GRU, x, lengths=None, initial=None):
+    """Seed implementation: per-step cell forward, per-row final gather."""
+    batch, seq_len, _ = x.shape
+    hidden = initial if initial is not None else Tensor.zeros((batch, gru.hidden_size))
+    outputs = []
+    for step in range(seq_len):
+        hidden = gru.cell(x[:, step, :], hidden)
+        outputs.append(hidden)
+    all_hidden = stack(outputs, axis=1)
+    if lengths is None:
+        return all_hidden, hidden
+    rows = [all_hidden[i, max(int(lengths[i]) - 1, 0), :] for i in range(batch)]
+    return all_hidden, stack(rows, axis=0)
+
+
+def reference_lstm(lstm: LSTM, x, lengths=None):
+    batch, seq_len, _ = x.shape
+    hidden = Tensor.zeros((batch, lstm.hidden_size))
+    cell = Tensor.zeros((batch, lstm.hidden_size))
+    outputs = []
+    for step in range(seq_len):
+        hidden, cell = lstm.cell(x[:, step, :], (hidden, cell))
+        outputs.append(hidden)
+    all_hidden = stack(outputs, axis=1)
+    if lengths is None:
+        return all_hidden, hidden
+    rows = [all_hidden[i, max(int(lengths[i]) - 1, 0), :] for i in range(batch)]
+    return all_hidden, stack(rows, axis=0)
+
+
+def _input(shape, seed, requires_grad=True):
+    data = np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def _grads_of(fn, params):
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.sum().backward()
+    return out.data.copy(), [None if p.grad is None else p.grad.copy() for p in params]
+
+
+# --------------------------------------------------------------------- #
+# Fused attention
+# --------------------------------------------------------------------- #
+class TestFusedAttentionEquivalence:
+    @pytest.mark.parametrize("shape,heads", [((2, 5, 16), 4), ((1, 9, 8), 2), ((3, 3, 12), 3)])
+    def test_outputs_and_grads_match(self, shape, heads):
+        attn = MultiHeadSelfAttention(shape[-1], heads, dropout=0.0, rng=get_rng(0))
+        attn.eval()
+        params = attn.parameters()
+        x_new, x_ref = _input(shape, 1), _input(shape, 1)
+
+        new_out, new_grads = _grads_of(lambda: attn(x_new), params)
+        ref_out, ref_grads = _grads_of(lambda: reference_attention(attn, x_ref), params)
+        np.testing.assert_allclose(new_out, ref_out, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(x_new.grad, x_ref.grad, rtol=RTOL, atol=ATOL)
+        for got, want in zip(new_grads, ref_grads):
+            np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    def test_bias_and_mask_match(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=get_rng(3))
+        attn.eval()
+        x_new, x_ref = _input((2, 6, 8), 4), _input((2, 6, 8), 4)
+        bias = Tensor(np.random.default_rng(5).standard_normal((2, 1, 6, 6)).astype(np.float32))
+        mask = np.zeros((2, 6), dtype=bool)
+        mask[0, 4:] = True
+        mask[1, 2:] = True
+
+        new_out, _ = _grads_of(lambda: attn(x_new, attention_bias=bias, key_padding_mask=mask), attn.parameters())
+        ref_out, _ = _grads_of(
+            lambda: reference_attention(attn, x_ref, attention_bias=bias, key_padding_mask=mask),
+            attn.parameters(),
+        )
+        np.testing.assert_allclose(new_out, ref_out, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(x_new.grad, x_ref.grad, rtol=RTOL, atol=ATOL)
+
+    def test_no_grad_fast_path_matches_autograd(self):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.1, rng=get_rng(7))
+        attn.eval()
+        x = _input((3, 7, 16), 8, requires_grad=False)
+        mask = np.zeros((3, 7), dtype=bool)
+        mask[1, 5:] = True
+        slow = attn(x, key_padding_mask=mask)  # grads enabled -> autograd path
+        with no_grad():
+            fast = attn(x, key_padding_mask=mask)
+        np.testing.assert_allclose(fast.data, slow.data, rtol=RTOL, atol=ATOL)
+
+    def test_fast_path_weights_match(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=get_rng(9))
+        attn.eval()
+        x = _input((1, 5, 8), 10, requires_grad=False)
+        _, slow_w = attn(x, return_weights=True)
+        with no_grad():
+            _, fast_w = attn(x, return_weights=True)
+        np.testing.assert_allclose(fast_w.data, slow_w.data, rtol=RTOL, atol=ATOL)
+
+    def test_encoder_layer_fast_path(self):
+        layer = TransformerEncoderLayer(16, 4, dropout=0.1, rng=get_rng(11))
+        layer.eval()
+        x = _input((2, 6, 16), 12, requires_grad=False)
+        mask = np.zeros((2, 6), dtype=bool)
+        mask[0, 3:] = True
+        slow = layer(x, key_padding_mask=mask)
+        with no_grad():
+            fast = layer(x, key_padding_mask=mask)
+        np.testing.assert_allclose(fast.data, slow.data, rtol=RTOL, atol=ATOL)
+
+
+# --------------------------------------------------------------------- #
+# Time-parallel recurrent sweeps
+# --------------------------------------------------------------------- #
+class TestRecurrentEquivalence:
+    @pytest.mark.parametrize(
+        "shape,lengths",
+        [
+            ((3, 6, 4), None),
+            ((3, 6, 4), [2, 6, 4]),
+            ((1, 1, 5), [1]),
+            ((4, 9, 3), [9, 1, 5, 3]),
+        ],
+    )
+    def test_gru_outputs_and_grads_match(self, shape, lengths):
+        gru = GRU(shape[-1], 7, rng=get_rng(0))
+        lengths = None if lengths is None else np.array(lengths)
+        params = gru.parameters()
+        x_new, x_ref = _input(shape, 2), _input(shape, 2)
+
+        def run(module_input, fn):
+            out_all, out_final = fn(module_input)
+            return (out_all.sum() + out_final.sum())
+
+        for p in params:
+            p.zero_grad()
+        all_new, final_new = gru(x_new, lengths=lengths)
+        (all_new.sum() + final_new.sum()).backward()
+        new_grads = [p.grad.copy() for p in params]
+
+        for p in params:
+            p.zero_grad()
+        all_ref, final_ref = reference_gru(gru, x_ref, lengths=lengths)
+        (all_ref.sum() + final_ref.sum()).backward()
+        ref_grads = [p.grad.copy() for p in params]
+
+        np.testing.assert_allclose(all_new.data, all_ref.data, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(final_new.data, final_ref.data, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(x_new.grad, x_ref.grad, rtol=RTOL, atol=ATOL)
+        for got, want in zip(new_grads, ref_grads):
+            np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    def test_gru_initial_state_matches(self):
+        gru = GRU(4, 6, rng=get_rng(1))
+        x_new, x_ref = _input((2, 5, 4), 3), _input((2, 5, 4), 3)
+        initial = _input((2, 6), 4, requires_grad=False)
+        all_new, _ = gru(x_new, initial=initial)
+        all_ref, _ = reference_gru(gru, x_ref, initial=initial)
+        np.testing.assert_allclose(all_new.data, all_ref.data, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("lengths", [None, [3, 8, 1]])
+    def test_lstm_outputs_and_grads_match(self, lengths):
+        lstm = LSTM(5, 6, rng=get_rng(2))
+        lengths = None if lengths is None else np.array(lengths)
+        params = lstm.parameters()
+        x_new, x_ref = _input((3, 8, 5), 6), _input((3, 8, 5), 6)
+
+        for p in params:
+            p.zero_grad()
+        all_new, final_new = lstm(x_new, lengths=lengths)
+        (all_new.sum() + final_new.sum()).backward()
+        new_grads = [p.grad.copy() for p in params]
+
+        for p in params:
+            p.zero_grad()
+        all_ref, final_ref = reference_lstm(lstm, x_ref, lengths=lengths)
+        (all_ref.sum() + final_ref.sum()).backward()
+        ref_grads = [p.grad.copy() for p in params]
+
+        np.testing.assert_allclose(all_new.data, all_ref.data, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(final_new.data, final_ref.data, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(x_new.grad, x_ref.grad, rtol=RTOL, atol=ATOL)
+        for got, want in zip(new_grads, ref_grads):
+            np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("module_cls", [GRU, LSTM])
+    def test_no_grad_fast_path_matches_autograd(self, module_cls):
+        rnn = module_cls(4, 6, rng=get_rng(5))
+        x = _input((3, 7, 4), 9, requires_grad=False)
+        lengths = np.array([7, 2, 5])
+        slow_all, slow_final = rnn(x, lengths=lengths)
+        with no_grad():
+            fast_all, fast_final = rnn(x, lengths=lengths)
+        np.testing.assert_allclose(fast_all.data, slow_all.data, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(fast_final.data, slow_final.data, rtol=RTOL, atol=ATOL)
+
+
+# --------------------------------------------------------------------- #
+# BiGRU padded-reversal regression
+# --------------------------------------------------------------------- #
+class TestBiGRUPadding:
+    def test_padded_batch_matches_unpadded_rows(self):
+        """The seed bug: reversing the padded block wholesale fed padding to
+        the backward RNN first, so ragged rows disagreed with their unpadded
+        encodings.  Each row of a padded batch must now encode exactly as the
+        same sequence alone in an exact-length batch."""
+        bigru = BiGRU(3, 5, rng=get_rng(0))
+        rng = np.random.default_rng(1)
+        rows = [rng.standard_normal((length, 3)).astype(np.float32) for length in (2, 6, 4)]
+        padded = np.zeros((3, 6, 3), dtype=np.float32)
+        for i, row in enumerate(rows):
+            padded[i, : row.shape[0]] = row
+        lengths = np.array([2, 6, 4])
+
+        outputs, final = bigru(Tensor(padded), lengths=lengths)
+        for i, row in enumerate(rows):
+            alone_out, alone_final = bigru(
+                Tensor(row[None, :, :]), lengths=np.array([row.shape[0]])
+            )
+            np.testing.assert_allclose(
+                final.data[i], alone_final.data[0], rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                outputs.data[i, : row.shape[0]], alone_out.data[0], rtol=RTOL, atol=ATOL
+            )
+
+    def test_backward_final_reads_sequence_start(self):
+        """The backward direction's final state must be the state after
+        consuming the *first* real step, independent of padding length."""
+        bigru = BiGRU(2, 4, rng=get_rng(2))
+        rng = np.random.default_rng(3)
+        row = rng.standard_normal((3, 2)).astype(np.float32)
+        short = np.zeros((1, 3, 2), dtype=np.float32)
+        short[0] = row
+        long = np.zeros((1, 10, 2), dtype=np.float32)
+        long[0, :3] = row
+        _, final_short = bigru(Tensor(short), lengths=np.array([3]))
+        _, final_long = bigru(Tensor(long), lengths=np.array([3]))
+        np.testing.assert_allclose(final_long.data, final_short.data, rtol=RTOL, atol=ATOL)
+
+    def test_gradients_flow_with_lengths(self):
+        bigru = BiGRU(3, 4, rng=get_rng(4))
+        x = _input((2, 5, 3), 5)
+        outputs, final = bigru(x, lengths=np.array([2, 5]))
+        (outputs.sum() + final.sum()).backward()
+        assert x.grad is not None
+        missing = [name for name, p in bigru.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+# --------------------------------------------------------------------- #
+# Property-based coverage for the vectorised helpers
+# --------------------------------------------------------------------- #
+@st.composite
+def _batch_and_lengths(draw):
+    batch = draw(st.integers(min_value=1, max_value=5))
+    seq_len = draw(st.integers(min_value=1, max_value=8))
+    dim = draw(st.integers(min_value=1, max_value=4))
+    lengths = draw(
+        st.lists(st.integers(min_value=1, max_value=seq_len), min_size=batch, max_size=batch)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    data = np.random.default_rng(seed).standard_normal((batch, seq_len, dim)).astype(np.float32)
+    return data, np.array(lengths, dtype=np.int64)
+
+
+class TestHelperProperties:
+    @given(_batch_and_lengths())
+    @settings(max_examples=60, deadline=None)
+    def test_gather_last_matches_python_loop(self, case):
+        data, lengths = case
+        got = _gather_last(Tensor(data), lengths).data
+        want = np.stack([data[i, max(int(l) - 1, 0)] for i, l in enumerate(lengths)])
+        np.testing.assert_allclose(got, want)
+
+    @given(_batch_and_lengths())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_time_matches_python_loop(self, case):
+        data, _ = case
+        got = _reverse_time(Tensor(data)).data
+        want = np.stack([data[:, data.shape[1] - 1 - i, :] for i in range(data.shape[1])], axis=1)
+        np.testing.assert_allclose(got, want)
+
+    @given(_batch_and_lengths())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_within_lengths_is_involution_and_local(self, case):
+        data, lengths = case
+        once = _reverse_within_lengths(Tensor(data), lengths).data
+        twice = _reverse_within_lengths(Tensor(once), lengths).data
+        np.testing.assert_allclose(twice, data)
+        for i, length in enumerate(lengths):
+            np.testing.assert_allclose(once[i, :length], data[i, :length][::-1])
+            np.testing.assert_allclose(once[i, length:], data[i, length:])
+
+    def test_reverse_time_gradients(self):
+        x = _input((2, 4, 3), 0)
+        _reverse_time(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(x.data))
+
+    def test_gather_last_gradients(self):
+        x = _input((3, 4, 2), 1)
+        _gather_last(x, np.array([1, 4, 2])).sum().backward()
+        expected = np.zeros_like(x.data)
+        expected[0, 0] = expected[1, 3] = expected[2, 1] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+
+# --------------------------------------------------------------------- #
+# The gather primitives behind the fast backward passes
+# --------------------------------------------------------------------- #
+class TestGatherPrimitives:
+    def test_take_rows_matches_getitem(self):
+        x_a = _input((6, 4), 0)
+        x_b = _input((6, 4), 0)
+        rows = np.array([4, 0, 2])
+        take_rows(x_a, rows).sum().backward()
+        x_b[rows].sum().backward()
+        np.testing.assert_allclose(x_a.grad, x_b.grad)
+
+    def test_gather_rows_matches_getitem(self):
+        x_a = _input((5, 3), 1)
+        x_b = _input((5, 3), 1)
+        indices = np.array([0, 2, 2, 4, 0])
+        scatter = np.zeros((5, len(indices)), dtype=np.float32)
+        scatter[indices, np.arange(len(indices))] = 1.0
+        weights = np.random.default_rng(2).standard_normal((len(indices), 3)).astype(np.float32)
+        (gather_rows(x_a, indices, scatter) * Tensor(weights)).sum().backward()
+        (x_b[indices] * Tensor(weights)).sum().backward()
+        np.testing.assert_allclose(x_a.grad, x_b.grad, rtol=RTOL, atol=ATOL)
+
+    def test_gather_rows_without_scatter_matrix(self):
+        """The scatter_matrix=None fallback (large-graph path) matches the GEMM backward."""
+        x_a = _input((5, 3), 3)
+        x_b = _input((5, 3), 3)
+        indices = np.array([1, 1, 3, 0])
+        scatter = np.zeros((5, len(indices)), dtype=np.float32)
+        scatter[indices, np.arange(len(indices))] = 1.0
+        gather_rows(x_a, indices, None).sum().backward()
+        gather_rows(x_b, indices, scatter).sum().backward()
+        np.testing.assert_allclose(x_a.grad, x_b.grad, rtol=RTOL, atol=ATOL)
