@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from repro.serving import SimilarityIndex
+from repro.serving.index import SimilarityIndex
 
 NUM_QUERIES = 1_000
 DATABASE_SIZE = 5_000

@@ -20,8 +20,10 @@ import time
 
 import numpy as np
 
-from repro.serving import SimilarityIndex
-from repro.streaming import IngestService, ShardedIndex, TrajectoryStreamReader
+from repro.serving.index import SimilarityIndex
+from repro.streaming.reader import TrajectoryStreamReader
+from repro.streaming.service import IngestService
+from repro.streaming.shards import ShardedIndex
 from repro.trajectory import Trajectory, append_trajectories
 
 TOTAL_ROWS = 6_000

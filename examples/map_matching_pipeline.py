@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import Pretrainer, STARTModel, small_config
+from repro.api import Engine, EngineConfig
+from repro.core import small_config
 from repro.roadnet import CityConfig, generate_city
 from repro.trajectory import (
     CongestionModel,
@@ -54,9 +55,8 @@ def main() -> None:
     dataset = TrajectoryDataset(network, matched, name="map-matched").preprocess()
     dataset.chronological_split()
     if len(dataset.train_trajectories()) >= 16:
-        config = small_config()
-        model = STARTModel.from_dataset(dataset, config)
-        history = Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=2)
+        engine = Engine.from_dataset(dataset, EngineConfig(start=small_config()))
+        history = engine.pretrain(dataset.train_trajectories(), epochs=2)
         print(f"pre-trained START on matched trajectories; loss {history.total[0]:.3f} -> {history.total[-1]:.3f}")
     else:
         print("not enough matched trajectories survived preprocessing to pre-train")

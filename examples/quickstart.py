@@ -1,23 +1,33 @@
 #!/usr/bin/env python
 """Quickstart: build a synthetic city, pre-train START and use the representations.
 
-This walks the full pipeline of the paper in a couple of minutes on a laptop:
+This walks the full pipeline of the paper through the one supported public
+surface, the :class:`repro.api.Engine` facade, in a couple of minutes on a
+laptop:
 
 1. generate a road network and a road-network constrained trajectory dataset
    (the offline stand-in for the BJ/Porto taxi data);
-2. pre-train START with span-masked recovery + contrastive learning;
+2. pre-train START with span-masked recovery + contrastive learning
+   (``Engine.pretrain``), then checkpoint and reload the model
+   (``Engine.save`` / ``Engine.load``);
 3. fine-tune the two supervised downstream tasks (travel time estimation and
-   trajectory classification);
-4. use the pre-trained representations directly for similarity search.
+   trajectory classification) on the engine's model;
+4. serve similarity queries straight from the pre-trained representations
+   (``Engine.ingest`` + ``Engine.query``), and run the paper's
+   most-similar-search evaluation.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro.core import Pretrainer, STARTModel, TravelTimeEstimator, TrajectoryClassifier, small_config
+from repro.api import Engine, EngineConfig, QueryRequest
+from repro.core import TravelTimeEstimator, TrajectoryClassifier, small_config
 from repro.eval import (
     TaskSettings,
     binary_classification_report,
@@ -40,18 +50,25 @@ def main() -> None:
           f"({stats['num_users']} drivers)")
 
     # ------------------------------------------------------------------ #
-    # 2. Self-supervised pre-training.
+    # 2. Self-supervised pre-training behind the facade.
     # ------------------------------------------------------------------ #
-    config = small_config()
-    model = STARTModel.from_dataset(dataset, config)
-    print(f"START model with {model.num_parameters():,} parameters")
-    history = Pretrainer(model, config).pretrain(dataset.train_trajectories(), epochs=4, verbose=True)
+    config = EngineConfig(start=small_config(), backend="sharded")
+    engine = Engine.from_dataset(dataset, config)
+    print(f"START model with {engine.model.num_parameters():,} parameters")
+    history = engine.pretrain(dataset.train_trajectories(), epochs=4, verbose=True)
     print(f"pre-training loss: {history.total[0]:.3f} -> {history.total[-1]:.3f}")
+
+    # Model lifecycle: checkpoint the weights and reload them into a fresh
+    # engine — a serving process never repeats the pre-training.
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = engine.save(Path(tmp) / "start_bj.npz")
+        engine = Engine.load(checkpoint, dataset, config=config)
+        print(f"checkpoint round trip: {checkpoint.name}")
 
     # ------------------------------------------------------------------ #
     # 3. Downstream task 1: travel time estimation.
     # ------------------------------------------------------------------ #
-    estimator = TravelTimeEstimator(model, config)
+    estimator = TravelTimeEstimator(engine.model, engine.model.config)
     estimator.fit(dataset.train_trajectories(), epochs=4)
     test = dataset.test_trajectories()
     predictions = estimator.predict(test)
@@ -61,7 +78,9 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # 3b. Downstream task 2: does the taxi carry a passenger?
     # ------------------------------------------------------------------ #
-    classifier = TrajectoryClassifier(model, num_classes=2, label_kind="occupied", config=config)
+    classifier = TrajectoryClassifier(
+        engine.model, num_classes=2, label_kind="occupied", config=engine.model.config
+    )
     classifier.fit(dataset.train_trajectories(), epochs=4)
     probabilities = classifier.predict_proba(test)
     report = binary_classification_report(
@@ -72,7 +91,18 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # 4. Downstream task 3: similarity search with the raw representations.
     # ------------------------------------------------------------------ #
-    similarity = run_similarity_task(model, dataset, TaskSettings(num_queries=15, num_negatives=45))
+    # Fine-tuning mutated the shared encoder in place, so drop the engine's
+    # (empty) index state and serve from the current weights explicitly.
+    engine.reset_index()
+    engine.ingest(test)
+    response = engine.query(QueryRequest(queries=test[:3], k=3))
+    for row, hits in enumerate(response.hits):
+        neighbours = ", ".join(f"id={h.trajectory_id} d={h.distance:.3f}" for h in hits)
+        print(f"query {row}: {neighbours}")
+
+    similarity = run_similarity_task(
+        engine.model, dataset, TaskSettings(num_queries=15, num_negatives=45)
+    )
     print("most-similar trajectory search:", similarity)
 
 

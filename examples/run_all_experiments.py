@@ -59,6 +59,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--scale", type=float, default=0.3, help="dataset scale multiplier")
     parser.add_argument("--pretrain-epochs", type=int, default=4)
     parser.add_argument("--finetune-epochs", type=int, default=4)
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default="sharded",
+        help="repro.api index backend serving the similarity-search tasks",
+    )
     parser.add_argument("--output", type=str, default=None, help="also write the report to this file")
     parser.add_argument("--skip", nargs="*", default=[], help="artefact names to skip, e.g. table2 figure7")
     args = parser.parse_args(argv)
@@ -77,7 +83,10 @@ def main(argv: list[str] | None = None) -> None:
         emit("figure1", format_figure1(run_figure1(scale=args.scale)))
     if "table2" not in args.skip:
         settings = Table2Settings(
-            scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs
+            scale=args.scale,
+            pretrain_epochs=args.pretrain_epochs,
+            finetune_epochs=args.finetune_epochs,
+            backend=args.backend,
         )
         rows = run_table2("synthetic-porto", settings)
         emit("table2", format_table2(rows) + "\nwinners: " + str(summarize_winners(rows)))
@@ -89,7 +98,7 @@ def main(argv: list[str] | None = None) -> None:
             scale=args.scale, pretrain_epochs=args.pretrain_epochs, finetune_epochs=args.finetune_epochs))))
     if "figure4" not in args.skip:
         emit("figure4", format_figure4(run_figure4("synthetic-porto", Figure4Settings(
-            scale=args.scale, pretrain_epochs=args.pretrain_epochs))))
+            scale=args.scale, pretrain_epochs=args.pretrain_epochs, backend=args.backend))))
     if "figure5" not in args.skip:
         emit("figure5", format_figure5(run_figure5("synthetic-porto", Figure5Settings(
             scale=args.scale, pretrain_epochs=min(args.pretrain_epochs, 3)))))

@@ -6,22 +6,22 @@ and 10: a fleet operator wants to find, for a query trip, the most similar
 trip in a large historical database — for example to spot drivers taking
 unnecessary detours or to identify popular routes.
 
-The script walks the full serving path introduced in ``repro.serving``:
+The script walks the full serving path through the one supported public
+surface, the :class:`repro.api.Engine` facade:
 
-1. pre-train START and materialise the database into an
-   :class:`~repro.serving.EmbeddingStore` (length-bucketed batch encoding);
-2. persist the store to disk and load it back — a serving replica never
-   needs the model, only the npz archive;
-3. answer most-similar queries through a
-   :class:`~repro.serving.SimilarityIndex` (chunked float32 distances +
-   ``argpartition`` top-k) and cross-check against the brute-force
-   full-distance-matrix path;
-4. replay the same corpus through the *streaming* path
-   (``repro.streaming``): tail a ``trajectories.jsonl`` with a
-   :class:`~repro.streaming.TrajectoryStreamReader`, ingest incrementally
-   into a sharded index via an :class:`~repro.streaming.IngestService`
-   (micro-batched encoding, no re-encoding of earlier arrivals), and verify
-   the sharded fan-out answers bit-identically to the monolithic index;
+1. pre-train START and ingest the database once (length-bucketed batch
+   encoding behind ``Engine.ingest``);
+2. snapshot the index to disk and restore it — a serving replica never needs
+   the model, only the snapshot directory — and verify the restored replica
+   answers bit-identically;
+3. answer most-similar queries through the sharded production backend and
+   cross-check three registry backends (``"sharded"``, ``"chunked"``,
+   ``"bruteforce"``) against each other: at aligned shard geometry the first
+   two are bit-identical, and the brute-force reference agrees on the ids;
+4. replay the same corpus as a *stream*: tail a ``trajectories.jsonl`` with
+   a :class:`~repro.streaming.reader.TrajectoryStreamReader` and feed the
+   engine incrementally (``Engine.drain``) — earlier waves are never
+   re-encoded or re-indexed;
 5. compare with the strongest learned baseline (Trembr) and with classical
    pairwise measures (DTW / Fréchet), which are accurate on raw geometry but
    orders of magnitude slower.
@@ -36,17 +36,15 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import Engine, EngineConfig, QueryRequest
 from repro.baselines import build_baseline
-from repro.core import Pretrainer, STARTModel, small_config
+from repro.core import small_config
 from repro.eval import (
-    euclidean_distance_matrix,
     evaluate_classical_search,
     evaluate_representation_search,
-    most_similar_search_report,
     search_report_on_index,
 )
-from repro.serving import EmbeddingStore
-from repro.streaming import IngestService, ShardedIndex, TrajectoryStreamReader
+from repro.streaming.reader import TrajectoryStreamReader
 from repro.trajectory import append_trajectories, build_dataset, build_similarity_benchmark
 from repro.utils.seeding import get_rng, seed_everything
 from repro.utils.timer import Timer
@@ -68,62 +66,86 @@ def main() -> None:
     )
     print(f"benchmark: {len(benchmark.queries)} queries, {len(benchmark.database)} database trajectories")
 
-    # START, used directly from pre-training (no fine-tuning).
-    start = STARTModel.from_dataset(dataset, config)
-    Pretrainer(start, config).pretrain(dataset.train_trajectories(), epochs=5, verbose=False)
-
-    # ----- Serving path: encode once, persist, reload, query the index. -----
-    with Timer() as encode_timer:
-        database_store = EmbeddingStore.build(
-            start.encode, benchmark.database, metadata={"model": "START", "dataset": "synthetic-porto"}
-        )
-    print(
-        f"embedding store: {len(database_store)} x {database_store.dim} vectors "
-        f"encoded in {encode_timer.elapsed:.2f}s"
+    # START behind the facade, used directly from pre-training (no fine-tuning).
+    # Small shard/chunk sizes keep the geometry interesting at demo scale
+    # while staying aligned (capacity % chunk == 0 -> bit-identical backends).
+    engine = Engine.from_dataset(
+        dataset,
+        EngineConfig(
+            start=config, backend="sharded", shard_capacity=32, database_chunk_size=16
+        ),
     )
-    with tempfile.TemporaryDirectory() as tmp:
-        saved_path = database_store.save(Path(tmp) / "porto_database.npz")
-        database_store = EmbeddingStore.load(saved_path)
-        print(f"store round trip: {saved_path.name}, metadata={database_store.metadata}")
+    engine.pretrain(dataset.train_trajectories(), epochs=5)
 
-    index = database_store.index()
-    query_vectors = np.asarray(start.encode(benchmark.queries))
+    # ----- Serving path: encode once, ingest, snapshot, restore, query. -----
+    with Timer() as encode_timer:
+        database_vectors = engine.encode(benchmark.database)
+    engine.ingest_vectors(
+        database_vectors, trajectory_ids=[t.trajectory_id for t in benchmark.database]
+    )
+    print(
+        f"ingested {len(engine)} x {engine.dim} vectors, encoded in "
+        f"{encode_timer.elapsed:.2f}s ({engine.encode_calls} encode batches)"
+    )
+    query_vectors = engine.encode(benchmark.queries)
 
     with Timer() as index_timer:
-        top5 = index.topk(query_vectors, k=5)
-        start_report = search_report_on_index(index, query_vectors, benchmark.ground_truth)
-    print(f"START/index  {start_report}  ({index_timer.elapsed*1000:.1f}ms)")
+        top5 = engine.query(QueryRequest(queries=query_vectors, k=5))
+        start_report = search_report_on_index(engine, query_vectors, benchmark.ground_truth)
+    print(f"START/sharded    {start_report}  ({index_timer.elapsed*1000:.1f}ms)")
 
-    # Brute-force cross-check: full distance matrix + full argsort per query.
-    with Timer() as brute_timer:
-        distances = euclidean_distance_matrix(query_vectors, database_store.vectors)
-        brute_top5 = np.argsort(distances, axis=1, kind="stable")[:, :5]
-        brute_report = most_similar_search_report(distances, benchmark.ground_truth)
-    agrees = bool((brute_top5 == top5.indices).all())
-    print(f"START/brute  {brute_report}  ({brute_timer.elapsed*1000:.1f}ms, top-5 agree: {agrees})")
+    # Snapshot/restore: a replica rebuilt from disk (no model!) answers
+    # bit-identically to the engine that encoded the corpus.
+    with tempfile.TemporaryDirectory() as tmp:
+        info = engine.snapshot(Path(tmp) / "porto_index")
+        replica = Engine.restore(info.path, engine.model)
+        replica_top5 = replica.query(QueryRequest(queries=query_vectors, k=5))
+        identical = bool(
+            (replica_top5.ids == top5.ids).all()
+            and (replica_top5.distances == top5.distances).all()
+        )
+        print(
+            f"snapshot round trip: {info.segments} segments, {info.rows} rows, "
+            f"restored replica bit-identical: {identical}"
+        )
 
-    # ----- Streaming path: tail the corpus, ingest incrementally, shard. -----
-    # The same database arrives as a JSONL stream in two waves; the service
-    # encodes each wave once (micro-batched) and appends to fresh shards —
+    # ----- Backend registry: the same corpus behind three implementations. -----
+    # The vectors are already encoded, so cross-checks reuse them directly.
+    chunked = Engine(engine.model, EngineConfig(backend="chunked", database_chunk_size=16))
+    brute = Engine(engine.model, EngineConfig(backend="bruteforce"))
+    chunked.ingest_vectors(database_vectors)
+    brute.ingest_vectors(database_vectors)
+    chunked_top5 = chunked.query(QueryRequest(queries=query_vectors, k=5))
+    brute_top5 = brute.query(QueryRequest(queries=query_vectors, k=5))
+    bit_identical = bool(
+        (chunked_top5.ids == top5.ids).all()
+        and (chunked_top5.distances == top5.distances).all()
+    )
+    ids_agree = bool((brute_top5.ids == top5.ids).all())
+    print(f"sharded == chunked (aligned geometry): bit-identical {bit_identical}")
+    print(f"bruteforce reference agrees on ids: {ids_agree}")
+
+    # ----- Streaming path: tail the corpus, ingest incrementally. -----
+    # The same database arrives as a JSONL stream in two waves; the engine
+    # encodes each wave once (length-bucketed) and appends to fresh shards —
     # wave 1's shards are never re-encoded or re-indexed when wave 2 lands.
     with tempfile.TemporaryDirectory() as tmp:
         stream_path = Path(tmp) / "arrivals.jsonl"
         reader = TrajectoryStreamReader(stream_path)
-        service = IngestService(start.encode, shard_capacity=32)
+        streamer = Engine(engine.model, EngineConfig(backend="sharded", shard_capacity=32))
         split = len(benchmark.database) // 2
         append_trajectories(stream_path, benchmark.database[:split])
-        service.drain(reader)
-        batches_after_first = service.encoded_batches
+        streamer.drain(reader)
+        batches_after_first = streamer.encode_calls
         append_trajectories(stream_path, benchmark.database[split:])
-        service.drain(reader)
+        streamer.drain(reader)
         print(
-            f"streaming ingest: {len(service)} rows across "
-            f"{service.index.num_shards} shards "
-            f"({batches_after_first} + {service.encoded_batches - batches_after_first} encode batches)"
+            f"streaming ingest: {len(streamer)} rows "
+            f"({batches_after_first} + {streamer.encode_calls - batches_after_first} encode batches)"
         )
-        streamed_top1 = service.top_k(query_vectors, k=1)
+        streamed_top1 = streamer.query(QueryRequest(queries=query_vectors, k=1))
         query_rows = list(benchmark.ground_truth.keys())
-        matched = service.trajectory_ids(streamed_top1.indices[query_rows, 0])
+        matched = streamed_top1.trajectory_ids[query_rows, 0]
         truth_ids = np.array(
             [
                 benchmark.database[benchmark.ground_truth[row]].trajectory_id
@@ -133,35 +155,21 @@ def main() -> None:
         print(
             f"streamed HR@1 by trajectory id: "
             f"{float((matched == truth_ids).mean()):.2f} "
-            f"(cache: {service.cache_stats})"
+            f"(cache: {streamer.cache_stats})"
         )
-
-    # Sharded vs monolithic on the *same* vectors: with the shard capacity a
-    # multiple of the chunk size, fan-out + merge is bit-identical to the
-    # single-segment index (ids and distances), whatever the shard count.
-    sharded = ShardedIndex.from_vectors(
-        database_store.vectors, shard_capacity=32, database_chunk_size=16
-    )
-    aligned_top5 = database_store.index(database_chunk_size=16).topk(query_vectors, k=5)
-    sharded_top5 = sharded.top_k(query_vectors, k=5)
-    identical = bool(
-        (sharded_top5.indices == aligned_top5.indices).all()
-        and (sharded_top5.distances == aligned_top5.distances).all()
-    )
-    print(f"sharded ({sharded.num_shards} shards) == monolithic: {identical}")
 
     # Trembr, the strongest baseline in the paper, through the same harness.
     trembr = build_baseline("Trembr", dataset.network, config)
     trembr.pretrain(dataset.train_trajectories(), epochs=5)
     with Timer() as trembr_timer:
         trembr_report = evaluate_representation_search(trembr.encode, benchmark)
-    print(f"Trembr       {trembr_report}  ({trembr_timer.elapsed:.2f}s)")
+    print(f"Trembr           {trembr_report}  ({trembr_timer.elapsed:.2f}s)")
 
     # Classical measures on raw coordinates.
     for measure in ("DTW", "Frechet"):
         with Timer() as classical_timer:
             report = evaluate_classical_search(dataset.network, measure, benchmark)
-        print(f"{measure:12s} {report}  ({classical_timer.elapsed:.2f}s)")
+        print(f"{measure:16s} {report}  ({classical_timer.elapsed:.2f}s)")
 
 
 if __name__ == "__main__":

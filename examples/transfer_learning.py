@@ -12,7 +12,8 @@ Run:  python examples/transfer_learning.py
 
 from __future__ import annotations
 
-from repro.core import Pretrainer, TrajectoryClassifier, small_config
+from repro.api import Engine
+from repro.core import TrajectoryClassifier, small_config
 from repro.eval import multiclass_classification_report
 from repro.experiments import build_start
 from repro.experiments.table3_transfer import _transfer_start
@@ -45,14 +46,14 @@ def main() -> None:
     scratch = build_start(geolife, config)
     print("from scratch:   ", evaluate(scratch, config, geolife))
 
-    # 2. Pre-train on the small dataset itself.
+    # 2. Pre-train on the small dataset itself (model lifecycle via the facade).
     self_pretrained = build_start(geolife, config)
-    Pretrainer(self_pretrained, config).pretrain(geolife.train_trajectories(), epochs=4)
+    Engine(self_pretrained).pretrain(geolife.train_trajectories(), epochs=4)
     print("pre-train (self):", evaluate(self_pretrained, config, geolife))
 
     # 3. Pre-train on the large source corpus, transfer, then fine-tune.
     source = build_start(bj, config)
-    Pretrainer(source, config).pretrain(bj.train_trajectories(), epochs=4)
+    Engine(source).pretrain(bj.train_trajectories(), epochs=4)
     transferred = _transfer_start(source, geolife, config)
     print("BJ -> Geolife:   ", evaluate(transferred, config, geolife))
 

@@ -7,8 +7,15 @@ Time-Aware Trajectory Encoder (TAT-Enc) turns road sequences plus temporal
 regularities into trajectory representations, pre-trained with span-masked
 recovery and contrastive learning.
 
+The supported public surface is :mod:`repro.api`: one :class:`~repro.api.Engine`
+facade (train → encode → index → stream → query) with typed
+requests/responses and a pluggable index-backend registry.
+
 Sub-packages
 ------------
+``repro.api``
+    The typed public facade: ``Engine``, ``EngineConfig``, request/response
+    dataclasses, index-backend registry.
 ``repro.nn``
     NumPy autodiff / neural-network substrate (replaces PyTorch).
 ``repro.roadnet``
@@ -21,13 +28,69 @@ Sub-packages
     traj2vec, t2vec, Trembr, Transformer, BERT, PIM, PIM-TF, Toast, classical
     similarity measures.
 ``repro.serving``
-    Representation serving: embedding store + chunked top-k similarity index.
+    Representation serving internals: embedding store + chunked top-k index.
+``repro.streaming``
+    Streaming internals: JSONL tail reader, sharded index, ingest service.
 ``repro.eval``
     Metrics and downstream-task evaluation harnesses.
 ``repro.experiments``
     Runners that regenerate every table and figure of the paper.
+
+Imports are lazy (PEP 562): ``import repro`` is cheap, and sub-packages plus
+the ``repro.api`` entry points materialise on first attribute access —
+``repro.api.Engine`` works without eagerly importing the heavy model stack.
 """
 
-__version__ = "1.0.0"
+from importlib import import_module
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: Sub-packages resolved lazily on attribute access.
+_SUBPACKAGES = frozenset(
+    {
+        "api",
+        "baselines",
+        "core",
+        "eval",
+        "experiments",
+        "nn",
+        "roadnet",
+        "serving",
+        "streaming",
+        "trajectory",
+        "utils",
+    }
+)
+
+#: Facade entry points re-exported at the top level (``repro.Engine`` etc.).
+_API_EXPORTS = (
+    "Engine",
+    "EngineConfig",
+    "EncodeRequest",
+    "IngestBatch",
+    "QueryHit",
+    "QueryRequest",
+    "QueryResponse",
+    "SnapshotInfo",
+    "available_backends",
+    "register_backend",
+)
+
+__all__ = ["__version__", *sorted(_SUBPACKAGES), *sorted(_API_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Lazily import sub-packages and `repro.api` entry points (PEP 562)."""
+    if name in _SUBPACKAGES:
+        module = import_module(f"repro.{name}")
+        globals()[name] = module  # cache: future lookups skip __getattr__
+        return module
+    if name in _API_EXPORTS:
+        value = getattr(import_module("repro.api"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

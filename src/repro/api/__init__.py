@@ -1,0 +1,57 @@
+"""`repro.api` — the typed public facade over the whole reproduction.
+
+This package is the **only supported public surface** for driving the
+end-to-end loop of the paper: pre-train START (or any baseline), bulk-encode
+trajectories, index the vectors behind a pluggable backend, ingest streams,
+and answer similarity queries — all through one :class:`Engine` configured
+by one :class:`EngineConfig` and spoken to with typed requests/responses.
+
+>>> from repro.api import Engine, EngineConfig, QueryRequest
+>>> engine = Engine.from_dataset(dataset, EngineConfig(backend="sharded"))
+>>> engine.pretrain(dataset.train_trajectories(), epochs=5)
+>>> engine.ingest(dataset.test_trajectories())
+>>> engine.query(QueryRequest(queries=query_vectors, k=5))
+
+Index backends are selected by config string from a registry
+(:func:`register_backend` / :func:`available_backends`) so new index
+implementations plug in without touching any caller; see
+:mod:`repro.api.backends` for the contract.  The exported names and the
+dataclass fields below are locked by ``tests/test_api_surface.py`` —
+changing them is a reviewed API break, never an accident.
+"""
+
+from repro.api.backends import (
+    IndexBackend,
+    UnsupportedOperation,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.engine import SNAPSHOT_FORMAT_VERSION, Engine, EngineConfig
+from repro.api.types import (
+    EncodeRequest,
+    IngestBatch,
+    QueryHit,
+    QueryRequest,
+    QueryResponse,
+    SnapshotInfo,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "EncodeRequest",
+    "Engine",
+    "EngineConfig",
+    "IndexBackend",
+    "IngestBatch",
+    "QueryHit",
+    "QueryRequest",
+    "QueryResponse",
+    "SnapshotInfo",
+    "UnsupportedOperation",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]

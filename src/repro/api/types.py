@@ -1,0 +1,129 @@
+"""Typed request/response surface of :mod:`repro.api`.
+
+Every interaction with the :class:`~repro.api.engine.Engine` facade is
+expressed through one of these dataclasses, so the public contract is a fixed
+set of named fields rather than an open-ended kwargs soup.  The field lists
+are locked by ``tests/test_api_surface.py``: adding, removing or renaming a
+field is a deliberate, reviewed API change, never an accident.
+
+Array conventions (shared with the serving layer):
+
+* representation vectors are ``(N, d)`` float32;
+* result ids are ``int64`` *global row ids* — assigned in insertion order by
+  default, so an engine filled once in database order reports the same ids a
+  plain row enumeration would;
+* result distances are Euclidean, ascending per query, ties broken by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.trajectory.types import Trajectory
+
+
+@dataclass(frozen=True)
+class EncodeRequest:
+    """Bulk-encode trajectories into representation vectors.
+
+    ``batch_size`` overrides the engine's configured encode batch; batches are
+    length-bucketed (each batch pads to its own longest member), and row ``i``
+    of the result always corresponds to ``trajectories[i]``.
+    """
+
+    trajectories: Sequence[Trajectory]
+    batch_size: int | None = None
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One wave of trajectories to encode and index.
+
+    ``trajectory_ids`` overrides the source-id recorded per row (defaults to
+    each trajectory's ``trajectory_id`` attribute, falling back to the
+    row's assigned global id — a batch-local position would collide across
+    waves).  The engine assigns fresh *global row ids* on ingestion and
+    returns them; the trajectory ids are what query responses report back so
+    hits can be mapped to source data.
+    """
+
+    trajectories: Sequence[Trajectory]
+    trajectory_ids: Sequence[int] | None = None
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Top-k most-similar query.
+
+    ``queries`` is either an ``(Q, d)`` array of representation vectors or a
+    sequence of trajectories (encoded through the engine first).  ``k`` is
+    clamped to the number of indexed rows.
+    """
+
+    queries: "np.ndarray | Sequence[Trajectory]"
+    k: int = 5
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One retrieved neighbour: global row id, distance, and source id."""
+
+    id: int
+    distance: float
+    trajectory_id: int
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Top-k answer for a batch of queries.
+
+    ``ids[i, j]`` is the global row id of query ``i``'s ``j``-th nearest
+    neighbour (ascending distance, ties broken by id), ``distances[i, j]``
+    its Euclidean distance and ``trajectory_ids[i, j]`` the source trajectory
+    behind that row.  Arrays are frozen (read-only): responses may be served
+    from the engine's query cache, so one caller's in-place edit must never
+    poison another's answer — copy before modifying.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    trajectory_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def k(self) -> int:
+        """Neighbours returned per query (may be less than requested)."""
+        return self.ids.shape[1]
+
+    @property
+    def hits(self) -> tuple[tuple[QueryHit, ...], ...]:
+        """Per-query :class:`QueryHit` rows (ergonomic, non-vectorised view)."""
+        return tuple(
+            tuple(
+                QueryHit(
+                    id=int(self.ids[row, col]),
+                    distance=float(self.distances[row, col]),
+                    trajectory_id=int(self.trajectory_ids[row, col]),
+                )
+                for col in range(self.ids.shape[1])
+            )
+            for row in range(self.ids.shape[0])
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """What :meth:`repro.api.Engine.snapshot` wrote to disk."""
+
+    path: Path
+    backend: str
+    rows: int
+    dim: int
+    segments: int
+    format_version: int

@@ -5,32 +5,29 @@ their representation vectors (Section IV-D4); classical measures compare raw
 coordinate sequences.  Both are evaluated against the detour-based ground
 truth produced by :mod:`repro.trajectory.detour`.
 
-Representation search runs on the serving stack (:mod:`repro.serving` +
-:mod:`repro.streaming`): database embeddings are materialised once into an
-:class:`EmbeddingStore` and queried through a sharded index
-(:class:`~repro.streaming.ShardedIndex`), so evaluation exercises exactly the
-code path production queries take — fan-out over append-only shards with a
-``(distance, id)`` merge, which is bit-identical to the monolithic
-:class:`SimilarityIndex` on the same rows.  The matrix-based helpers below
-are kept for the classical measures (whose pairwise distances cannot be
-factored through an embedding) and for small-scale analysis.
+Representation search runs entirely through the :class:`repro.api.Engine`
+facade: the database is bulk-encoded and indexed behind a configurable
+backend (``"sharded"`` by default — the production query path, bit-identical
+to the monolithic index at the default geometry), and ranks come from the
+backend's chunked counting kernel, so evaluation exercises exactly the code
+path production queries take.  The matrix-based helpers below are kept for
+the classical measures (whose pairwise distances cannot be factored through
+an embedding) and for small-scale analysis.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Engine, EngineConfig, QueryRequest
 from repro.baselines.classical import ClassicalSimilarity
 from repro.eval.metrics import precision_at_k, ranking_report
 from repro.roadnet.network import RoadNetwork
-from repro.serving import (
+from repro.serving.index import (
     DEFAULT_DATABASE_CHUNK,
-    EmbeddingStore,
-    SimilarityIndex,
     pairwise_squared_euclidean,
+    squared_norms,
 )
-from repro.serving.index import squared_norms
-from repro.streaming import ShardedIndex
 from repro.trajectory.detour import SimilarityBenchmark
 from repro.trajectory.types import Trajectory
 
@@ -111,18 +108,18 @@ def most_similar_search_report(distances: np.ndarray, ground_truth: dict[int, in
 
 
 def search_report_on_index(
-    index: SimilarityIndex | ShardedIndex,
+    index,
     query_vectors: np.ndarray,
     ground_truth: dict[int, int],
 ) -> dict[str, float]:
-    """MR / HR@1 / HR@5 computed through a serving index.
+    """MR / HR@1 / HR@5 computed through a serving index or engine.
 
-    ``index`` is anything with the ``ranks_of`` contract — the monolithic
-    :class:`SimilarityIndex` or a :class:`~repro.streaming.ShardedIndex`
-    whose row ids are insertion-order numbers.  ``ground_truth`` maps row
-    indices of ``query_vectors`` to database rows; ranks come from the
-    index's chunked counting path, so no full distance matrix is ever
-    materialised.
+    ``index`` is anything with the ``ranks_of`` contract — a
+    :class:`repro.api.Engine`, an index backend, or one of the underlying
+    index classes — whose row ids are insertion-order numbers.
+    ``ground_truth`` maps row indices of ``query_vectors`` to database rows;
+    ranks come from the chunked counting path, so no full distance matrix is
+    ever materialised.
     """
     query_rows = np.fromiter(ground_truth.keys(), dtype=np.int64, count=len(ground_truth))
     truth_cols = np.fromiter(ground_truth.values(), dtype=np.int64, count=len(ground_truth))
@@ -136,24 +133,24 @@ def evaluate_representation_search(
     encode_batch_size: int | None = None,
     *,
     shard_capacity: int | None = None,
+    backend: str = "sharded",
 ) -> dict[str, float]:
     """Evaluate a representation model on the most-similar search task.
 
     ``encode`` is any callable mapping a list of trajectories to ``(N, d)``
     vectors (``STARTModel.encode`` and every baseline's ``encode`` qualify).
-    The database is materialised into an :class:`EmbeddingStore` and served
-    through a :class:`~repro.streaming.ShardedIndex` over the store's
-    vectors — the production sharded query path, with results bit-identical
-    to the monolithic index.  ``shard_capacity`` overrides the shard size
-    (defaults to one shard per
-    :data:`~repro.streaming.DEFAULT_SHARD_CAPACITY` rows).
+    The benchmark database is ingested into a :class:`repro.api.Engine`
+    whose index ``backend`` defaults to ``"sharded"`` — the production
+    sharded query path, bit-identical to the monolithic index at the default
+    geometry.  ``shard_capacity`` overrides the shard size.
     """
-    build_kwargs = {} if encode_batch_size is None else {"batch_size": encode_batch_size}
-    database = EmbeddingStore.build(encode, benchmark.database, **build_kwargs)
-    queries = EmbeddingStore.build(encode, benchmark.queries, **build_kwargs)
-    index_kwargs = {} if shard_capacity is None else {"shard_capacity": shard_capacity}
-    index = ShardedIndex.from_vectors(database.vectors, **index_kwargs)
-    return search_report_on_index(index, queries.vectors, benchmark.ground_truth)
+    config = EngineConfig(backend=backend, encode_batch_size=encode_batch_size)
+    if shard_capacity is not None:
+        config = config.variant(shard_capacity=shard_capacity)
+    engine = Engine(encode, config)
+    engine.ingest(benchmark.database)
+    query_vectors = engine.encode(benchmark.queries)
+    return search_report_on_index(engine, query_vectors, benchmark.ground_truth)
 
 
 def evaluate_classical_search(
@@ -213,18 +210,20 @@ def evaluate_representation_knearest(
     database: list[Trajectory],
     k: int = 5,
     *,
-    index: SimilarityIndex | None = None,
-    relevant_indices: np.ndarray | None = None,
+    engine: Engine | None = None,
+    relevant_ids: np.ndarray | None = None,
 ) -> float:
-    """k-nearest precision for a representation model (served from an index).
+    """k-nearest precision for a representation model (served via the facade).
 
     Callers evaluating many detour variants against the same database (e.g.
-    the Figure 4 runner) can pass a prebuilt ``index`` and the precomputed
-    ``relevant_indices`` of the original queries to skip re-encoding them.
+    the Figure 4 runner) can pass a prebuilt ``engine`` (already fed the
+    database) and the precomputed ``relevant_ids`` of the original queries
+    to skip re-encoding and re-indexing them.
     """
-    if index is None:
-        index = EmbeddingStore.build(encode, database).index()
-    if relevant_indices is None:
-        relevant_indices = index.topk(np.asarray(encode(original_queries)), k).indices
-    retrieved = index.topk(np.asarray(encode(detoured_queries)), k).indices
-    return precision_at_k(retrieved, relevant_indices)
+    if engine is None:
+        engine = Engine(encode)
+        engine.ingest(database)
+    if relevant_ids is None:
+        relevant_ids = engine.query(QueryRequest(queries=original_queries, k=k)).ids
+    retrieved = engine.query(QueryRequest(queries=detoured_queries, k=k)).ids
+    return precision_at_k(retrieved, relevant_ids)

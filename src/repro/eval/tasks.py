@@ -36,7 +36,8 @@ class TaskSettings:
     num_negatives: int = 60
     detour: DetourConfig | None = None
     classification_k: int = 2  # Recall@k for the multi-class report
-    encode_batch_size: int | None = None  # None -> the store's default
+    encode_batch_size: int | None = None  # None -> the engine's default
+    backend: str = "sharded"  # repro.api index backend for similarity search
 
 
 def run_travel_time_task(
@@ -103,7 +104,10 @@ def run_similarity_task(
     if not benchmark.queries:
         raise RuntimeError("could not build any similarity queries; dataset too small")
     return evaluate_representation_search(
-        model.encode, benchmark, encode_batch_size=settings.encode_batch_size
+        model.encode,
+        benchmark,
+        encode_batch_size=settings.encode_batch_size,
+        backend=settings.backend,
     )
 
 

@@ -11,14 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.api import Engine, EngineConfig, QueryRequest
 from repro.eval.similarity import evaluate_representation_knearest
 from repro.experiments.datasets import experiment_dataset
 from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
 from repro.experiments.reporting import format_series
 from repro.core.config import StartConfig
-from repro.serving import EmbeddingStore
 from repro.trajectory.detour import DetourConfig, make_detour
 from repro.utils.seeding import get_rng
 
@@ -33,6 +31,7 @@ class Figure4Settings:
     k: int = 5
     models: tuple[str, ...] = TABLE2_MODELS
     config: StartConfig | None = None
+    backend: str = "sharded"  # repro.api index backend serving the search
 
 
 def _build_query_sets(dataset, settings: Figure4Settings) -> tuple[list, dict[float, list], list]:
@@ -76,9 +75,11 @@ def run_figure4(dataset_name: str = "synthetic-porto", settings: Figure4Settings
     result: dict = {"proportions": list(settings.proportions), "precision": {}, "num_queries": len(queries)}
     for name, model, _ in pretrained_model_zoo(dataset, zoo_settings, names=settings.models):
         # The database index and the ground-truth neighbour sets depend only
-        # on the model, so build them once and reuse across all proportions.
-        index = EmbeddingStore.build(model.encode, database).index()
-        relevant = index.topk(np.asarray(model.encode(queries)), settings.k).indices
+        # on the model, so feed one engine once and reuse it (and the
+        # original queries' neighbour ids) across all proportions.
+        engine = Engine(model, EngineConfig(backend=settings.backend))
+        engine.ingest(database)
+        relevant = engine.query(QueryRequest(queries=queries, k=settings.k)).ids
         series = [
             evaluate_representation_knearest(
                 model.encode,
@@ -86,8 +87,8 @@ def run_figure4(dataset_name: str = "synthetic-porto", settings: Figure4Settings
                 detours[proportion],
                 database,
                 k=settings.k,
-                index=index,
-                relevant_indices=relevant,
+                engine=engine,
+                relevant_ids=relevant,
             )
             for proportion in settings.proportions
         ]

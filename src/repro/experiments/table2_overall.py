@@ -41,6 +41,7 @@ class Table2Settings:
     num_negatives: int = 60
     models: tuple[str, ...] = TABLE2_MODELS
     config: StartConfig | None = None
+    backend: str = "sharded"  # repro.api index backend for similarity search
 
 
 def run_table2(
@@ -56,6 +57,7 @@ def run_table2(
         num_queries=settings.num_queries,
         num_negatives=settings.num_negatives,
         classification_k=min(5, num_classes),
+        backend=settings.backend,
     )
     zoo_settings = ZooSettings(config=settings.config, pretrain_epochs=settings.pretrain_epochs)
 

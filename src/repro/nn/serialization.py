@@ -17,6 +17,14 @@ from repro.nn.module import Module
 _META_KEY = "__repro_meta__"
 
 
+def _resolve_checkpoint_path(path: str | Path) -> Path:
+    """``np.savez`` appends ``.npz`` when missing; accept both spellings on read."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
 def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
     """Serialize ``module.state_dict()`` (plus optional metadata) to ``path``."""
     path = Path(path)
@@ -37,9 +45,7 @@ def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> di
 
     Returns the metadata dictionary stored alongside the weights.
     """
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _resolve_checkpoint_path(path)
     with np.load(path, allow_pickle=False) as archive:
         state = {key: archive[key] for key in archive.files if key != _META_KEY}
         metadata: dict = {}
@@ -49,10 +55,21 @@ def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> di
     return metadata
 
 
+def read_metadata(path: str | Path) -> dict:
+    """Read only the metadata blob of a checkpoint (no module required).
+
+    Lets callers inspect what a checkpoint contains (e.g. the model config it
+    was trained with) before deciding how to reconstruct the module.
+    """
+    path = _resolve_checkpoint_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+
+
 def load_state(path: str | Path) -> dict[str, np.ndarray]:
     """Load the raw state dict from disk without needing a module instance."""
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _resolve_checkpoint_path(path)
     with np.load(path, allow_pickle=False) as archive:
         return {key: archive[key] for key in archive.files if key != _META_KEY}

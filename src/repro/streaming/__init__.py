@@ -1,4 +1,4 @@
-"""`repro.streaming` — streaming ingestion + sharded similarity serving.
+"""`repro.streaming` — streaming ingestion + sharded serving (facade internals).
 
 The layer between :mod:`repro.serving` (frozen store + monolithic index) and
 a continuously-growing corpus:
@@ -13,7 +13,19 @@ a continuously-growing corpus:
   (``shards``);
 * :class:`IngestService` ties reader → encoding → shards together with an
   LRU query cache and npz snapshot/restore (``service``).
+
+.. deprecated::
+    Constructing :class:`ShardedIndex` / :class:`IngestService` directly is
+    the *old* public path.  Application code should go through the
+    :class:`repro.api.Engine` facade (``EngineConfig(backend="sharded")``
+    selects the sharded machinery; ``Engine.drain``/``snapshot``/``restore``
+    replace the ingest service).  These names remain importable for backward
+    compatibility but accessing them from this package emits a
+    ``DeprecationWarning``; facade internals import from the submodules,
+    which stay warning-free.
 """
+
+import warnings
 
 from repro.streaming.reader import (
     DEFAULT_BUCKET_WIDTH,
@@ -21,16 +33,15 @@ from repro.streaming.reader import (
     MicroBatcher,
     TrajectoryStreamReader,
 )
-from repro.streaming.shards import (
-    DEFAULT_SHARD_CAPACITY,
-    IndexShard,
-    ShardedIndex,
-)
-from repro.streaming.service import (
-    DEFAULT_QUERY_CACHE_SIZE,
-    SNAPSHOT_FORMAT_VERSION,
-    IngestService,
-)
+from repro.streaming.shards import DEFAULT_SHARD_CAPACITY, IndexShard
+from repro.streaming.service import DEFAULT_QUERY_CACHE_SIZE, SNAPSHOT_FORMAT_VERSION
+
+#: Old public entry points, now deprecated at package level in favour of
+#: ``repro.api.Engine``; resolved lazily so the warning fires on access.
+_DEPRECATED = {
+    "ShardedIndex": ("repro.streaming.shards", "ShardedIndex"),
+    "IngestService": ("repro.streaming.service", "IngestService"),
+}
 
 __all__ = [
     "DEFAULT_BUCKET_WIDTH",
@@ -44,3 +55,21 @@ __all__ = [
     "ShardedIndex",
     "TrajectoryStreamReader",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module_name, attribute = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.streaming.{name} is deprecated as a public entry point; "
+            f"drive streaming ingestion and sharded serving through "
+            f"repro.api.Engine (EngineConfig(backend='sharded'), "
+            f"Engine.drain/snapshot/restore). Library-internal code imports "
+            f"from {module_name} directly.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from importlib import import_module
+
+        return getattr(import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro.streaming' has no attribute '{name}'")

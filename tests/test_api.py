@@ -1,0 +1,411 @@
+"""Tests for the `repro.api` facade: Engine, typed messages, backend registry.
+
+Two layers of coverage:
+
+* fast, model-free tests drive the engine with a deterministic fake encoder
+  (backend equivalence, registry, cache, mutation, snapshot/restore);
+* one full round trip drives a real tiny START model through
+  config → train → encode → ingest waves → query → snapshot → restore.
+
+The hypothesis property pins the PR 2 invariant at the facade level: the
+``"chunked"`` and ``"sharded"`` backends are **bit-identical** (ids and
+distances) whenever ``shard_capacity`` is a multiple of
+``database_chunk_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    EncodeRequest,
+    Engine,
+    EngineConfig,
+    IngestBatch,
+    QueryHit,
+    QueryRequest,
+    UnsupportedOperation,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core import STARTModel, tiny_config
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    CongestionModel,
+    DemandConfig,
+    TrajectoryDataset,
+    TrajectoryGenerator,
+)
+
+
+@dataclass
+class FakeTrajectory:
+    """Minimal stand-in: only ``__len__`` and ``trajectory_id`` are used."""
+
+    length: int
+    trajectory_id: int
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def linear_encode(batch: list[FakeTrajectory]) -> np.ndarray:
+    """Deterministic per-trajectory embedding (independent of batching)."""
+    return np.array(
+        [[t.length, t.trajectory_id % 7, t.trajectory_id % 3] for t in batch],
+        dtype=np.float32,
+    )
+
+
+def fake_corpus(count: int, start: int = 0) -> list[FakeTrajectory]:
+    return [FakeTrajectory(length=3 + (i % 11), trajectory_id=100 + i) for i in range(start, start + count)]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    network = generate_city(CityConfig(grid_rows=5, grid_cols=5, seed=3))
+    config = DemandConfig(num_drivers=6, num_days=8, trips_per_driver_per_day=2.0, seed=3)
+    generator = TrajectoryGenerator(network, CongestionModel(network), config)
+    result = generator.generate(num_trajectories=90)
+    ds = TrajectoryDataset(network, result.trajectories, name="api-test")
+    ds.chronological_split()
+    return ds
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"bruteforce", "chunked", "sharded"} <= set(available_backends())
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown index backend 'annoy'"):
+            create_backend("annoy")
+
+    def test_register_and_unregister_custom_backend(self):
+        calls = {}
+
+        @register_backend("test-custom")
+        def factory(**kwargs):
+            calls.update(kwargs)
+            return create_backend("sharded", **kwargs)
+
+        try:
+            backend = create_backend("test-custom", shard_capacity=7)
+            assert calls["shard_capacity"] == 7
+            backend.add(np.ones((3, 2), dtype=np.float32))
+            assert len(backend) == 3
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("test-custom", factory)
+        finally:
+            unregister_backend("test-custom")
+        assert "test-custom" not in available_backends()
+
+    def test_engine_uses_config_backend_string(self):
+        engine = Engine(linear_encode, EngineConfig(backend="bruteforce"))
+        assert engine.backend.name == "bruteforce"
+
+
+class TestEngineServing:
+    def make_engine(self, backend: str = "sharded", **overrides) -> Engine:
+        return Engine(linear_encode, EngineConfig(backend=backend, **overrides))
+
+    def test_encode_matches_plain_encoder_row_order(self):
+        engine = self.make_engine()
+        corpus = fake_corpus(37)
+        vectors = engine.encode(EncodeRequest(trajectories=corpus, batch_size=8))
+        np.testing.assert_array_equal(vectors, linear_encode(corpus))
+        assert vectors.dtype == np.float32
+        assert not vectors.flags.writeable
+
+    def test_ingest_assigns_insertion_order_ids(self):
+        engine = self.make_engine()
+        first = engine.ingest(fake_corpus(10))
+        second = engine.ingest(IngestBatch(trajectories=fake_corpus(5, start=10)))
+        np.testing.assert_array_equal(first, np.arange(10))
+        np.testing.assert_array_equal(second, np.arange(10, 15))
+        assert len(engine) == 15
+
+    def test_query_maps_trajectory_ids(self):
+        engine = self.make_engine()
+        corpus = fake_corpus(20)
+        engine.ingest(corpus)
+        response = engine.query(QueryRequest(queries=corpus[:4], k=1))
+        # Identical feature rows exist (lengths repeat mod 11); the nearest
+        # hit must at least share the query's features, and the reported
+        # trajectory id must belong to the matched row.
+        assert response.ids.shape == (4, 1)
+        for row, hits in enumerate(response.hits):
+            assert isinstance(hits[0], QueryHit)
+            matched = corpus[int(response.ids[row, 0])]
+            assert hits[0].trajectory_id == matched.trajectory_id
+
+    def test_query_response_arrays_frozen_and_cached(self):
+        engine = self.make_engine()
+        engine.ingest(fake_corpus(12))
+        queries = linear_encode(fake_corpus(3))
+        first = engine.query(QueryRequest(queries=queries, k=2))
+        again = engine.query(QueryRequest(queries=queries, k=2))
+        assert again is first  # served from the generation-keyed cache
+        assert engine.cache_stats["hits"] == 1
+        with pytest.raises(ValueError):
+            first.ids[0, 0] = 99
+        # Mutation bumps the generation: the cache entry can never be reused.
+        engine.ingest(fake_corpus(1, start=50))
+        assert engine.query(QueryRequest(queries=queries, k=2)) is not first
+
+    def test_query_k_alongside_request_rejected(self):
+        engine = self.make_engine()
+        engine.ingest(fake_corpus(5))
+        with pytest.raises(ValueError, match="inside the QueryRequest"):
+            engine.query(QueryRequest(queries=linear_encode(fake_corpus(1))), k=3)
+
+    def test_remove_and_compact_on_sharded(self):
+        engine = self.make_engine(shard_capacity=8)
+        ids = engine.ingest(fake_corpus(20))
+        assert engine.remove(ids[:5]) == 5
+        assert len(engine) == 15
+        assert engine.compact()
+        assert len(engine) == 15
+        response = engine.query(QueryRequest(queries=linear_encode(fake_corpus(2)), k=20))
+        assert not np.isin(ids[:5], response.ids).any()
+
+    def test_remove_unsupported_on_append_only_backends(self):
+        for backend in ("chunked", "bruteforce"):
+            engine = self.make_engine(backend)
+            ids = engine.ingest(fake_corpus(4))
+            with pytest.raises(UnsupportedOperation, match="sharded"):
+                engine.remove(ids[:1])
+            assert engine.compact() is False
+
+    def test_ranks_of_matches_bruteforce_reference(self, rng):
+        vectors = rng.standard_normal((80, 6)).astype(np.float32)
+        queries = rng.standard_normal((9, 6)).astype(np.float32)
+        truth = rng.integers(0, 80, size=9)
+        engines = {}
+        for backend in ("sharded", "chunked", "bruteforce"):
+            engine = self.make_engine(backend, shard_capacity=32, database_chunk_size=16)
+            engine.ingest_vectors(vectors)
+            engines[backend] = engine.ranks_of(queries, truth)
+        np.testing.assert_array_equal(engines["sharded"], engines["bruteforce"])
+        np.testing.assert_array_equal(engines["chunked"], engines["bruteforce"])
+
+    def test_snapshot_restore_bit_identical_with_tombstones(self, rng, tmp_path):
+        engine = self.make_engine(shard_capacity=16, database_chunk_size=8)
+        vectors = rng.standard_normal((40, 5)).astype(np.float32)
+        ids = engine.ingest_vectors(vectors, trajectory_ids=range(1000, 1040))
+        engine.remove(ids[7:12])
+        info = engine.snapshot(tmp_path / "snap")
+        assert info.backend == "sharded"
+        assert info.rows == 35
+        restored = Engine.restore(tmp_path / "snap", linear_encode)
+        queries = rng.standard_normal((6, 5)).astype(np.float32)
+        original = engine.query(QueryRequest(queries=queries, k=10))
+        replica = restored.query(QueryRequest(queries=queries, k=10))
+        np.testing.assert_array_equal(original.ids, replica.ids)
+        np.testing.assert_array_equal(original.distances, replica.distances)
+        np.testing.assert_array_equal(original.trajectory_ids, replica.trajectory_ids)
+        # Fresh ids continue after the snapshot's next_id, never reused.
+        new_ids = restored.ingest_vectors(rng.standard_normal((2, 5)).astype(np.float32))
+        assert new_ids.min() >= 40
+
+    def test_ingest_without_trajectory_ids_defaults_to_row_ids(self):
+        """Objects lacking a trajectory_id must not collide across waves."""
+
+        @dataclass
+        class Anonymous:
+            length: int
+
+            def __len__(self) -> int:
+                return self.length
+
+        def encode(batch):
+            return np.array([[t.length, 1.0] for t in batch], dtype=np.float32)
+
+        engine = Engine(encode, EngineConfig(backend="sharded"))
+        engine.ingest([Anonymous(3), Anonymous(4)])
+        engine.ingest([Anonymous(5), Anonymous(6)])
+        # Each row maps to its own (unique) global id, not its wave position.
+        np.testing.assert_array_equal(
+            engine.trajectory_ids(np.arange(4)), np.arange(4)
+        )
+
+    def test_restore_tombstoned_snapshot_into_append_only_backend(self, rng, tmp_path):
+        """A cross-backend restore filters dead rows instead of crashing."""
+        sharded = self.make_engine(shard_capacity=8)
+        ids = sharded.ingest_vectors(rng.standard_normal((20, 4)).astype(np.float32))
+        sharded.remove(ids[3:7])
+        sharded.snapshot(tmp_path / "snap")
+        chunked = Engine.restore(
+            tmp_path / "snap", linear_encode, config=EngineConfig(backend="chunked")
+        )
+        assert len(chunked) == 16
+        queries = rng.standard_normal((3, 4)).astype(np.float32)
+        response = chunked.query(QueryRequest(queries=queries, k=16))
+        assert not np.isin(ids[3:7], response.ids).any()
+        expected = sharded.query(QueryRequest(queries=queries, k=16))
+        np.testing.assert_array_equal(response.ids, expected.ids)
+
+    def test_restore_rejects_non_snapshot_and_newer_formats(self, tmp_path):
+        with pytest.raises(ValueError, match="not an Engine snapshot"):
+            Engine.restore(tmp_path, linear_encode)
+
+    def test_restore_explains_ingest_service_snapshots(self, tmp_path):
+        """The deprecated service writes the same manifest.json name; pointing
+        Engine.restore at one must give a migration hint, not a KeyError."""
+        from repro.streaming.service import IngestService
+
+        service = IngestService(linear_encode, shard_capacity=8)
+        service.ingest(fake_corpus(10))
+        service.snapshot(tmp_path / "old")
+        with pytest.raises(ValueError, match="IngestService snapshot"):
+            Engine.restore(tmp_path / "old", linear_encode)
+        engine = self.make_engine()
+        engine.ingest(fake_corpus(3))
+        engine.snapshot(tmp_path / "snap")
+        manifest = tmp_path / "snap" / "manifest.json"
+        manifest.write_text(manifest.read_text().replace('"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ValueError, match="snapshot format v99"):
+            Engine.restore(tmp_path / "snap", linear_encode)
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shard_capacity=0)
+        with pytest.raises(ValueError):
+            EngineConfig(database_chunk_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(encode_batch_size=0)
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rows=st.integers(1, 120),
+        num_queries=st.integers(1, 12),
+        dim=st.integers(2, 10),
+        chunk=st.sampled_from([4, 16, 64]),
+        multiplier=st.integers(1, 4),
+        k=st.integers(1, 12),
+    )
+    def test_chunked_and_sharded_bit_identical_at_aligned_geometry(
+        self, seed, rows, num_queries, dim, chunk, multiplier, k
+    ):
+        """PR 2 invariant at the facade: shard_capacity % database_chunk == 0
+        ⇒ the two backends return bit-identical QueryResponses."""
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((rows, dim)).astype(np.float32)
+        queries = rng.standard_normal((num_queries, dim)).astype(np.float32)
+        geometry = dict(shard_capacity=chunk * multiplier, database_chunk_size=chunk)
+        chunked = Engine(linear_encode, EngineConfig(backend="chunked", **geometry))
+        sharded = Engine(linear_encode, EngineConfig(backend="sharded", **geometry))
+        chunked.ingest_vectors(vectors)
+        sharded.ingest_vectors(vectors)
+        a = chunked.query(QueryRequest(queries=queries, k=k))
+        b = sharded.query(QueryRequest(queries=queries, k=k))
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert (a.distances == b.distances).all()  # bitwise, not allclose
+        truth = rng.integers(0, rows, size=num_queries)
+        np.testing.assert_array_equal(
+            chunked.ranks_of(queries, truth), sharded.ranks_of(queries, truth)
+        )
+
+
+class TestEngineModelLifecycle:
+    def test_full_round_trip_with_start(self, dataset, tmp_path):
+        """config → train → encode → ingest waves → query → snapshot →
+        restore → query again, all through the facade."""
+        config = EngineConfig(
+            start=tiny_config(pretrain_epochs=1, batch_size=16),
+            backend="sharded",
+            shard_capacity=16,
+            database_chunk_size=8,
+        )
+        engine = Engine.from_dataset(dataset, config)
+        assert isinstance(engine.model, STARTModel)
+        history = engine.pretrain(dataset.train_trajectories(), epochs=1)
+        assert history.epochs == 1
+
+        test = dataset.test_trajectories()
+        vectors = engine.encode(test)
+        assert vectors.shape == (len(test), engine.model.config.d_model)
+
+        # Two ingest waves: earlier rows are never re-encoded.
+        split = len(test) // 2
+        engine.ingest(test[:split])
+        calls_after_first = engine.encode_calls
+        engine.ingest(test[split:])
+        assert engine.encode_calls > calls_after_first
+        assert len(engine) == len(test)
+
+        response = engine.query(QueryRequest(queries=test[:3], k=5))
+        assert response.ids.shape == (3, 5)
+        # Each query trajectory is itself in the database: its own row is the
+        # top hit at ~zero distance (exact zero is not guaranteed — batch
+        # composition shifts padding, which can move float32 results by ulps).
+        np.testing.assert_array_equal(response.ids[:, 0], np.arange(3))
+        assert response.distances[:, 0] == pytest.approx(0.0, abs=0.05)
+
+        # The index survives without the model; queries are bit-identical.
+        info = engine.snapshot(tmp_path / "index")
+        assert info.rows == len(test)
+        replica = Engine.restore(info.path, engine.model)
+        query_vectors = engine.encode(test[:3])
+        original = engine.query(QueryRequest(queries=query_vectors, k=5))
+        restored = replica.query(QueryRequest(queries=query_vectors, k=5))
+        np.testing.assert_array_equal(original.ids, restored.ids)
+        assert (original.distances == restored.distances).all()
+
+    def test_save_load_checkpoint_reproduces_encodings(self, dataset, tmp_path):
+        config = EngineConfig(start=tiny_config(pretrain_epochs=1, batch_size=16))
+        engine = Engine.from_dataset(dataset, config)
+        engine.pretrain(dataset.train_trajectories()[:32], epochs=1)
+        test = dataset.test_trajectories()[:8]
+        before = engine.encode(test)
+        path = engine.save(tmp_path / "start.npz")
+        loaded = Engine.load(path, dataset)
+        assert loaded.config.start == engine.model.config
+        np.testing.assert_allclose(loaded.encode(test), before, rtol=1e-6, atol=1e-6)
+
+    def test_load_requires_context_and_engine_checkpoint(self, dataset, tmp_path):
+        config = EngineConfig(start=tiny_config(pretrain_epochs=1, batch_size=16))
+        engine = Engine.from_dataset(dataset, config)
+        path = engine.save(tmp_path / "start.npz")
+        with pytest.raises(ValueError, match="dataset or a network"):
+            Engine.load(path)
+
+    def test_load_honours_saved_backend_choice(self, dataset, tmp_path):
+        config = EngineConfig(
+            start=tiny_config(pretrain_epochs=1, batch_size=16), backend="chunked"
+        )
+        engine = Engine.from_dataset(dataset, config)
+        path = engine.save(tmp_path / "start.npz")
+        assert Engine.load(path, dataset).config.backend == "chunked"
+        override = Engine.load(path, dataset, config=EngineConfig(backend="bruteforce"))
+        assert override.config.backend == "bruteforce"
+
+    def test_load_explains_non_start_checkpoints(self, dataset, tmp_path):
+        from repro.baselines import build_baseline
+
+        baseline = build_baseline("Trembr", dataset.network, tiny_config())
+        path = Engine(baseline).save(tmp_path / "trembr.npz")
+        with pytest.raises(ValueError, match="cannot\\s+rebuild"):
+            Engine.load(path, dataset)
+
+    def test_pretrain_resets_index(self, dataset):
+        config = EngineConfig(start=tiny_config(pretrain_epochs=1, batch_size=16))
+        engine = Engine.from_dataset(dataset, config)
+        engine.ingest(dataset.test_trajectories()[:6])
+        assert len(engine) == 6
+        engine.pretrain(dataset.train_trajectories()[:32], epochs=1)
+        assert len(engine) == 0  # stale vectors dropped with the old weights
+
+    def test_untrainable_encoder_raises(self):
+        engine = Engine(linear_encode)
+        with pytest.raises(TypeError, match="not trainable"):
+            engine.pretrain([FakeTrajectory(3, 0), FakeTrajectory(4, 1)])

@@ -1,0 +1,94 @@
+"""Public-API surface lock for `repro.api`.
+
+``tests/data/api_surface.json`` is the checked-in snapshot of the facade's
+contract: the exported names (``repro.api.__all__``), every public
+dataclass's field list, and the registered built-in backends.  This test
+diffs the live surface against the snapshot, so an accidental rename, field
+removal or export drop fails CI with an explicit diff instead of silently
+breaking downstream users.
+
+Changing the surface on purpose: update the snapshot in the same commit —
+regenerate it with
+
+    PYTHONPATH=src python tests/test_api_surface.py --regenerate
+
+and let the reviewer see the contract change as a readable JSON diff.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import repro.api as api
+
+SNAPSHOT_PATH = Path(__file__).parent / "data" / "api_surface.json"
+
+#: Public dataclasses whose field lists are part of the locked contract.
+_LOCKED_DATACLASSES = (
+    "EncodeRequest",
+    "EngineConfig",
+    "IngestBatch",
+    "QueryHit",
+    "QueryRequest",
+    "QueryResponse",
+    "SnapshotInfo",
+)
+
+#: Backends that must always be available from a clean install.
+_BUILTIN_BACKENDS = ("bruteforce", "chunked", "sharded")
+
+
+def current_surface() -> dict:
+    """Introspect the live `repro.api` surface into the snapshot shape."""
+    surface: dict = {"__all__": sorted(api.__all__)}
+    surface["dataclasses"] = {
+        name: [field.name for field in dataclasses.fields(getattr(api, name))]
+        for name in _LOCKED_DATACLASSES
+    }
+    surface["builtin_backends"] = sorted(
+        name for name in api.available_backends() if name in _BUILTIN_BACKENDS
+    )
+    surface["engine_methods"] = sorted(
+        name
+        for name in dir(api.Engine)
+        if not name.startswith("_") and callable(getattr(api.Engine, name, None))
+    )
+    return surface
+
+
+def test_api_surface_matches_snapshot():
+    assert SNAPSHOT_PATH.exists(), (
+        f"missing {SNAPSHOT_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_api_surface.py --regenerate`"
+    )
+    locked = json.loads(SNAPSHOT_PATH.read_text())
+    live = current_surface()
+    assert live == locked, (
+        "repro.api's public surface drifted from tests/data/api_surface.json.\n"
+        "If the change is intentional, regenerate the snapshot "
+        "(PYTHONPATH=src python tests/test_api_surface.py --regenerate) and "
+        "commit it together with the code change.\n"
+        f"live:   {json.dumps(live, indent=2, sort_keys=True)}\n"
+        f"locked: {json.dumps(locked, indent=2, sort_keys=True)}"
+    )
+
+
+def test_every_locked_dataclass_is_exported_and_frozen():
+    for name in _LOCKED_DATACLASSES:
+        cls = getattr(api, name)
+        assert name in api.__all__
+        assert dataclasses.is_dataclass(cls)
+        assert cls.__dataclass_params__.frozen, f"{name} must be frozen"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(json.dumps(current_surface(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT_PATH}")
+    else:
+        print(json.dumps(current_surface(), indent=2, sort_keys=True))

@@ -1,0 +1,169 @@
+"""Regression tests for the deprecated pre-facade entry points.
+
+The old public path — constructing ``EmbeddingStore`` / ``SimilarityIndex``
+/ ``ShardedIndex`` / ``IngestService`` by hand — must keep working (same
+classes, identical results) while steering users to ``repro.api.Engine``
+with a ``DeprecationWarning`` on package-level access.  Library-internal
+submodule imports stay warning-free.
+
+Also covers the lazy top-level package: ``import repro`` is cheap and
+resolves sub-packages plus the facade entry points on attribute access
+(PEP 562).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import Engine, EngineConfig, QueryRequest
+
+
+@dataclass
+class FakeTrajectory:
+    length: int
+    trajectory_id: int
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def linear_encode(batch: list[FakeTrajectory]) -> np.ndarray:
+    return np.array(
+        [[t.length, t.trajectory_id % 7, t.trajectory_id % 3] for t in batch],
+        dtype=np.float32,
+    )
+
+
+CORPUS = [FakeTrajectory(length=3 + (i % 9), trajectory_id=200 + i) for i in range(40)]
+
+
+class TestDeprecatedEntryPoints:
+    @pytest.mark.parametrize(
+        "package, name, submodule",
+        [
+            ("repro.serving", "EmbeddingStore", "repro.serving.store"),
+            ("repro.serving", "SimilarityIndex", "repro.serving.index"),
+            ("repro.streaming", "ShardedIndex", "repro.streaming.shards"),
+            ("repro.streaming", "IngestService", "repro.streaming.service"),
+        ],
+    )
+    def test_package_access_warns_and_returns_the_same_class(self, package, name, submodule):
+        import importlib
+
+        pkg = importlib.import_module(package)
+        with pytest.warns(DeprecationWarning, match="repro.api.Engine"):
+            deprecated = getattr(pkg, name)
+        # The shim hands back the real class — old isinstance checks,
+        # pickles and subclasses keep working.
+        assert deprecated is getattr(importlib.import_module(submodule), name)
+
+    def test_package_level_warning_fires_once_per_call_site(self):
+        """The default warning filter dedupes by call site: a loop over the
+        old path produces a single DeprecationWarning, not one per access."""
+        code = (
+            "import warnings, repro.serving\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('default')\n"
+            "    for _ in range(5):\n"
+            "        repro.serving.EmbeddingStore\n"
+            "print(sum(issubclass(w.category, DeprecationWarning) for w in caught))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert result.stdout.strip() == "1"
+
+    def test_internal_submodule_imports_stay_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.serving.index import SimilarityIndex  # noqa: F401
+            from repro.serving.store import EmbeddingStore  # noqa: F401
+            from repro.streaming.service import IngestService  # noqa: F401
+            from repro.streaming.shards import ShardedIndex  # noqa: F401
+            import repro.eval  # the rewired harness must not touch shims
+            import repro.experiments  # noqa: F401
+
+    def test_old_manual_wiring_matches_the_facade(self, rng):
+        """The deprecated hand-wired path (store → index → topk) must keep
+        producing results identical to the facade over the same corpus."""
+        with pytest.warns(DeprecationWarning):
+            from repro.serving import EmbeddingStore  # the old entry point
+
+        store = EmbeddingStore.build(linear_encode, CORPUS)
+        old_result = store.index(database_chunk_size=8).topk(store.vectors[:5], k=7)
+
+        engine = Engine(linear_encode, EngineConfig(backend="chunked", database_chunk_size=8))
+        engine.ingest(CORPUS)
+        new_result = engine.query(QueryRequest(queries=store.vectors[:5], k=7))
+
+        np.testing.assert_array_equal(old_result.indices, new_result.ids)
+        assert (old_result.distances == new_result.distances).all()
+
+    def test_old_ingest_service_matches_the_facade(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.streaming import IngestService
+
+        service = IngestService(linear_encode, shard_capacity=16)
+        service.ingest(CORPUS)
+        queries = linear_encode(CORPUS[:4])
+        old = service.top_k(queries, k=5)
+
+        engine = Engine(linear_encode, EngineConfig(backend="sharded", shard_capacity=16))
+        engine.ingest(CORPUS)
+        new = engine.query(QueryRequest(queries=queries, k=5))
+
+        np.testing.assert_array_equal(old.indices, new.ids)
+        assert (old.distances == new.distances).all()
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.serving
+        import repro.streaming
+
+        with pytest.raises(AttributeError):
+            repro.serving.NoSuchThing
+        with pytest.raises(AttributeError):
+            repro.streaming.NoSuchThing
+
+
+class TestLazyTopLevelPackage:
+    def test_subpackages_resolve_lazily(self):
+        assert repro.api.Engine is Engine
+        assert repro.core.STARTModel is not None
+        assert repro.nn.no_grad is not None
+
+    def test_facade_entry_points_reexported(self):
+        assert repro.Engine is Engine
+        assert repro.EngineConfig is EngineConfig
+        assert "Engine" in repro.__all__
+        assert "api" in repro.__all__
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'bogus'"):
+            repro.bogus
+
+    def test_dir_lists_lazy_names(self):
+        names = dir(repro)
+        assert "api" in names and "Engine" in names and "__version__" in names
+
+    def test_import_repro_is_lazy_and_light(self):
+        """`import repro` must not drag in the heavy model stack (PEP 562)."""
+        code = (
+            "import sys, repro\n"
+            "heavy = [m for m in sys.modules if m.startswith(('repro.core', 'repro.nn', 'repro.api'))]\n"
+            "print(len(heavy))\n"
+            "repro.api.Engine\n"
+            "print('repro.api' in sys.modules and 'repro.core' in sys.modules)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        first, second = result.stdout.strip().splitlines()
+        assert first == "0"
+        assert second == "True"

@@ -17,8 +17,8 @@ from repro.eval.similarity import (
     ranks_of_ground_truth,
     top_k_indices,
 )
-from repro.serving import EmbeddingStore, SimilarityIndex
-from repro.serving.store import FORMAT_VERSION
+from repro.serving.index import SimilarityIndex
+from repro.serving.store import FORMAT_VERSION, EmbeddingStore
 
 
 def brute_force_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:

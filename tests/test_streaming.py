@@ -16,14 +16,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serving import SimilarityIndex
-from repro.streaming import (
-    IngestService,
-    MicroBatcher,
-    ShardedIndex,
-    TrajectoryStreamReader,
-)
-from repro.streaming.service import SNAPSHOT_FORMAT_VERSION
+from repro.serving.index import SimilarityIndex
+from repro.streaming.reader import MicroBatcher, TrajectoryStreamReader
+from repro.streaming.service import SNAPSHOT_FORMAT_VERSION, IngestService
+from repro.streaming.shards import ShardedIndex
 from repro.trajectory import Trajectory, append_trajectories
 
 
