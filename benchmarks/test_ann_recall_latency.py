@@ -1,0 +1,122 @@
+"""Benchmark gate: the ANN backends on seed-corpus embeddings.
+
+The acceptance criterion for the ANN subsystem: both ``"ivf"`` and
+``"ivfpq"`` must reach **recall@10 >= 0.9** against the bruteforce oracle at
+**>= 5x lower query latency**, on representations of the seed corpus served
+at a scale where index structure matters.
+
+The corpus is built the way the serving path would see it: pre-train a small
+START on the synthetic-porto seed dataset, bulk-encode every trajectory
+through the facade, then grow the embedding set to ~20k rows by replicating
+it with small deterministic jitter (the standard ANN-bench device for
+scaling a real corpus while preserving its geometry — trajectory embeddings
+cluster by route/length structure, and the replicas emulate the continuous
+arrivals the streaming layer would ingest).  Queries are jittered corpus
+points, i.e. near-duplicate trips, the similarity workload of the paper.
+
+Speedup floors are env-overridable for noisy shared runners
+(``REPRO_ANN_MIN_SPEEDUP``, default 5.0), mirroring the serving-throughput
+benchmark; the recall floor is hard.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import Engine, EngineConfig
+from repro.core import tiny_config
+from repro.eval.similarity import recall_against_exact
+from repro.experiments.datasets import experiment_dataset
+
+TARGET_ROWS = 20_000
+NUM_QUERIES = 200
+K = 10
+JITTER = 0.05
+REPEATS = 3
+MIN_RECALL = 0.9
+MIN_SPEEDUP = float(os.environ.get("REPRO_ANN_MIN_SPEEDUP", "5.0"))
+
+#: The knobs the gate certifies (also the documented starting points in
+#: docs/ARCHITECTURE.md — keep them in sync).
+ANN_SETTINGS = {
+    "ivf": {"nlist": 128, "nprobe": 8},
+    "ivfpq": {"nlist": 128, "nprobe": 16, "pq_m": 8, "pq_bits": 6, "rerank": 64},
+}
+
+
+def best_of(function, repeats: int = REPEATS):
+    best = float("inf")
+    output = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        output = function()
+        best = min(best, time.perf_counter() - started)
+    return best, output
+
+
+def seed_corpus_embeddings() -> np.ndarray:
+    """Encode the seed dataset through the facade, then jitter-replicate."""
+    dataset = experiment_dataset("synthetic-porto", scale=0.3)
+    engine = Engine.from_dataset(
+        dataset, EngineConfig(start=tiny_config(batch_size=16), pretrain_epochs=1)
+    )
+    engine.pretrain(dataset.train_trajectories(), epochs=1)
+    encoded = engine.encode(dataset.trajectories)
+    rng = np.random.default_rng(23)
+    replicas = -(-TARGET_ROWS // len(encoded))  # ceil division
+    scale = JITTER * float(encoded.std())
+    grown = np.concatenate(
+        [
+            encoded + scale * rng.standard_normal(encoded.shape).astype(np.float32)
+            for _ in range(replicas)
+        ]
+    )[:TARGET_ROWS]
+    return np.ascontiguousarray(grown, dtype=np.float32)
+
+
+def test_ann_recall_and_speedup_vs_bruteforce(benchmark, once):
+    corpus = seed_corpus_embeddings()
+    rng = np.random.default_rng(29)
+    picks = rng.choice(len(corpus), size=NUM_QUERIES, replace=False)
+    queries = corpus[picks] + (JITTER / 2) * float(corpus.std()) * rng.standard_normal(
+        (NUM_QUERIES, corpus.shape[1])
+    ).astype(np.float32)
+
+    reference = Engine(lambda batch: None, EngineConfig(backend="bruteforce"))
+    reference.ingest_vectors(corpus)
+    brute_seconds, exact = best_of(lambda: reference.backend.top_k(queries, K))
+
+    results = {}
+    for name, params in ANN_SETTINGS.items():
+        engine = Engine(lambda batch: None, EngineConfig(backend=name, backend_params=params))
+        engine.ingest_vectors(corpus)
+        engine.backend.top_k(queries[:1], K)  # build the structure once
+        seconds, approx = best_of(lambda: engine.backend.top_k(queries, K))
+        recall = recall_against_exact(exact.indices, approx.indices)
+        speedup = brute_seconds / seconds
+        results[name] = (recall, speedup, seconds)
+        assert recall >= MIN_RECALL, (
+            f"{name} recall@{K} {recall:.3f} < {MIN_RECALL} on the seed corpus "
+            f"({len(corpus)} rows, params {params})"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name} query path {seconds * 1e3:.1f}ms vs bruteforce "
+            f"{brute_seconds * 1e3:.1f}ms ({speedup:.1f}x; expected >= {MIN_SPEEDUP}x)"
+        )
+
+    # Record the IVF timed run under pytest-benchmark as well.
+    ivf_engine = Engine(
+        lambda batch: None, EngineConfig(backend="ivf", backend_params=ANN_SETTINGS["ivf"])
+    )
+    ivf_engine.ingest_vectors(corpus)
+    ivf_engine.backend.top_k(queries[:1], K)
+    once(benchmark, lambda: ivf_engine.backend.top_k(queries, K))
+    benchmark.extra_info["corpus_rows"] = int(len(corpus))
+    benchmark.extra_info["bruteforce_seconds"] = float(brute_seconds)
+    for name, (recall, speedup, seconds) in results.items():
+        benchmark.extra_info[f"{name}_recall_at_{K}"] = float(recall)
+        benchmark.extra_info[f"{name}_speedup"] = float(speedup)
+        benchmark.extra_info[f"{name}_seconds"] = float(seconds)

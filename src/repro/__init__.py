@@ -29,6 +29,9 @@ Sub-packages
     similarity measures.
 ``repro.serving``
     Representation serving internals: embedding store + chunked top-k index.
+``repro.ann``
+    Approximate-nearest-neighbour index structures (IVF, IVF-PQ) behind the
+    ``repro.api`` backend registry.
 ``repro.streaming``
     Streaming internals: JSONL tail reader, sharded index, ingest service.
 ``repro.eval``
@@ -48,6 +51,7 @@ __version__ = "1.1.0"
 #: Sub-packages resolved lazily on attribute access.
 _SUBPACKAGES = frozenset(
     {
+        "ann",
         "api",
         "baselines",
         "core",

@@ -1,0 +1,247 @@
+"""IVF: inverted-file index with a k-means coarse quantizer.
+
+Layout (built lazily, a pure function of the stored rows + params + seed):
+
+* **centroids** — k-means over the first ``min(train_size, N)`` stored rows,
+  ``nlist`` clamped to the row count;
+* **inverted lists** — every stored row is assigned to its nearest centroid;
+  rows are kept *grouped by list* in one contiguous reordered copy (vectors,
+  cached norms, global ids, storage rows), so probing a list is one
+  contiguous block scan.
+
+Query flow: coarse-score the query block against the centroids (one small
+GEMM), pick each query's ``nprobe`` nearest lists (expanded per query until
+the probed lists hold at least ``k`` alive rows), then scan only those lists
+with the *same* chunked argpartition kernel the exact backends use
+(:func:`repro.serving.index.scan_topk_candidates`) — every probed candidate
+is re-ranked by its exact distance, so approximation error is purely "the
+true neighbour's list was not probed", never a distance estimate.
+
+``nprobe >= nlist`` probes everything; the scan then degenerates to the
+bruteforce backend's exact full-matrix path, bit-identically (see
+:meth:`repro.ann.base.AnnBackendBase._exact_top_k`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.base import AnnBackendBase
+from repro.ann.kmeans import assign_to_centroids, kmeans
+from repro.serving.index import (
+    DEFAULT_DATABASE_CHUNK,
+    DEFAULT_QUERY_CHUNK,
+    finalize_topk,
+    pairwise_squared_euclidean,
+    scan_topk_candidates,
+    squared_norms,
+)
+from repro.streaming.shards import DEFAULT_SHARD_CAPACITY
+
+#: Default number of inverted lists (clamped to the corpus size).
+DEFAULT_NLIST = 64
+#: Default number of lists probed per query.
+DEFAULT_NPROBE = 8
+#: Default training-subset size for the coarse quantizer.
+DEFAULT_TRAIN_SIZE = 4096
+
+
+@dataclass
+class _IVFStructure:
+    """The trained coarse quantizer + list-grouped row storage."""
+
+    centroids: np.ndarray  # (nlist_eff, d)
+    centroid_norms: np.ndarray  # (nlist_eff,)
+    order: np.ndarray  # storage rows, grouped by list (stable within a list)
+    offsets: np.ndarray  # (nlist_eff + 1,) list boundaries in the grouped order
+    vectors: np.ndarray  # (N, d) storage vectors permuted by `order`
+    norms: np.ndarray  # (N,) cached norms permuted by `order`
+    ids: np.ndarray  # (N,) global ids permuted by `order`
+    list_of_position: np.ndarray  # (N,) owning list per grouped position
+
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+
+class IVFBackend(AnnBackendBase):
+    """``"ivf"``: coarse k-means partitioning + exact re-ranked probing."""
+
+    name = "ivf"
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        *,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        query_chunk_size: int = DEFAULT_QUERY_CHUNK,
+        database_chunk_size: int = DEFAULT_DATABASE_CHUNK,
+        nlist: int = DEFAULT_NLIST,
+        nprobe: int = DEFAULT_NPROBE,
+        train_size: int = DEFAULT_TRAIN_SIZE,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            dim,
+            shard_capacity=shard_capacity,
+            query_chunk_size=query_chunk_size,
+            database_chunk_size=database_chunk_size,
+        )
+        if nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if train_size < 1:
+            raise ValueError("train_size must be >= 1")
+        self.nlist = int(nlist)
+        self.nprobe = int(nprobe)
+        self.train_size = int(train_size)
+        self.seed = int(seed)
+        # Centroids are a function of the first min(train_size, N) rows only;
+        # cache them across appends so steady-state ingest never re-trains
+        # (the prefix of an append-only store is immutable).
+        self._centroid_cache: tuple[int, np.ndarray] | None = None
+
+    def _on_compact(self) -> None:
+        self._centroid_cache = None  # compaction rewrites the storage prefix
+
+    # ------------------------------------------------------------------ #
+    # Training / structure
+    # ------------------------------------------------------------------ #
+    def _train_centroids(self) -> np.ndarray:
+        train_rows = min(self.train_size, self._count)
+        nlist_eff = min(self.nlist, train_rows)
+        if self._centroid_cache is not None:
+            cached_rows, cached = self._centroid_cache
+            if cached_rows == train_rows and cached.shape[0] == nlist_eff:
+                return cached
+        centroids = kmeans(self._vectors[:train_rows], nlist_eff, seed=self.seed)
+        self._centroid_cache = (train_rows, centroids)
+        return centroids
+
+    def _rebuild_structure(self) -> _IVFStructure:
+        centroids = self._train_centroids()
+        stored = self._vectors[: self._count]
+        assignments, _ = assign_to_centroids(stored, centroids)
+        order = np.argsort(assignments, kind="stable")
+        counts = np.bincount(assignments, minlength=centroids.shape[0])
+        offsets = np.zeros(centroids.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return _IVFStructure(
+            centroids=centroids,
+            centroid_norms=squared_norms(centroids),
+            order=order,
+            offsets=offsets,
+            vectors=np.ascontiguousarray(stored[order]),
+            norms=self._norms[: self._count][order].copy(),
+            ids=self._ids[: self._count][order].copy(),
+            list_of_position=np.repeat(
+                np.arange(centroids.shape[0], dtype=np.int64), counts
+            ),
+        )
+
+    def _probe_everything(self, structure: _IVFStructure) -> bool:
+        return self.nprobe >= structure.nlist
+
+    # ------------------------------------------------------------------ #
+    # Probing
+    # ------------------------------------------------------------------ #
+    def _probe_lists(
+        self, structure: _IVFStructure, block: np.ndarray, block_norms: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query probe plan: ``(list_order, probe_counts)``.
+
+        ``list_order[i]`` ranks all lists by coarse distance for query ``i``;
+        ``probe_counts[i]`` is how many of them to probe — at least
+        ``nprobe``, expanded until the probed lists hold ``>= k`` alive rows
+        (the caller guarantees ``k <= len(self)``, so expansion always
+        terminates).  Probed lists are always a prefix of ``list_order``,
+        which is what makes recall monotone non-decreasing in ``nprobe``.
+        """
+        coarse = pairwise_squared_euclidean(
+            block,
+            structure.centroids,
+            query_norms=block_norms,
+            database_norms=structure.centroid_norms,
+        )
+        list_order = np.argsort(coarse, axis=1, kind="stable")
+        alive_per_list = np.diff(structure.offsets)
+        if self._dead_count:
+            dead_grouped = self._dead[: self._count][structure.order]
+            alive_per_list = alive_per_list - np.bincount(
+                structure.list_of_position[dead_grouped], minlength=structure.nlist
+            )
+        cumulative = np.cumsum(alive_per_list[list_order], axis=1)
+        needed = (cumulative < k).sum(axis=1) + 1
+        probe_counts = np.minimum(
+            np.maximum(needed, min(self.nprobe, structure.nlist)), structure.nlist
+        )
+        return list_order, probe_counts
+
+    def _scan_probed(
+        self,
+        structure: _IVFStructure,
+        block: np.ndarray,
+        block_norms: np.ndarray,
+        list_order: np.ndarray,
+        probe_counts: np.ndarray,
+        width: int,
+        scan_one_list,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Iterate probed lists list-major, merging per-query candidates.
+
+        ``scan_one_list(query_rows, start, stop, best)`` scans one contiguous
+        list segment for the subset of queries probing it and returns the
+        merged ``(distances, candidates)`` arrays of width ``width``
+        (candidates are global ids for IVF, grouped positions for IVF-PQ).
+        Placeholder ``(+inf, -1)`` seeds can only survive when a query's
+        probed candidates number fewer than ``width`` — never inside the
+        final top-k (probing is expanded until ``>= k`` alive candidates are
+        covered).
+        """
+        num_queries = block.shape[0]
+        best_d = np.full((num_queries, width), np.inf, dtype=np.float32)
+        best_i = np.full((num_queries, width), -1, dtype=np.int64)
+        probed = np.zeros((num_queries, structure.nlist), dtype=bool)
+        position = np.arange(structure.nlist)[None, :] < probe_counts[:, None]
+        query_index, rank = np.nonzero(position)
+        probed[query_index, list_order[query_index, rank]] = True
+        for lst in range(structure.nlist):
+            start, stop = int(structure.offsets[lst]), int(structure.offsets[lst + 1])
+            if stop == start:
+                continue
+            query_rows = np.nonzero(probed[:, lst])[0]
+            if not query_rows.size:
+                continue
+            merged_d, merged_i = scan_one_list(query_rows, start, stop, (best_d[query_rows], best_i[query_rows]))
+            best_d[query_rows] = merged_d
+            best_i[query_rows] = merged_i
+        return best_d, best_i
+
+    def _search_block(
+        self, structure: _IVFStructure, block: np.ndarray, block_norms: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        list_order, probe_counts = self._probe_lists(structure, block, block_norms, k)
+        dead_grouped = (
+            self._dead[: self._count][structure.order] if self._dead_count else None
+        )
+
+        def scan_one_list(query_rows, start, stop, best):
+            return scan_topk_candidates(
+                block[query_rows],
+                block_norms[query_rows],
+                structure.vectors[start:stop],
+                structure.norms[start:stop],
+                k,
+                self.database_chunk_size,
+                row_ids=structure.ids[start:stop],
+                exclude=dead_grouped[start:stop] if dead_grouped is not None else None,
+                best=best,
+            )
+
+        best_d, best_i = self._scan_probed(
+            structure, block, block_norms, list_order, probe_counts, k, scan_one_list
+        )
+        return finalize_topk(best_d, best_i)

@@ -1,0 +1,145 @@
+"""Product quantization: compact codes + ADC lookup-table distances.
+
+A :class:`ProductQuantizer` splits a ``d``-dimensional vector into ``m``
+contiguous sub-vectors and replaces each with the index of its nearest
+centroid in a per-subspace codebook of ``2**bits`` entries, so one vector
+costs ``m`` small integers instead of ``d`` floats.  Queries never decode:
+asymmetric distance computation (ADC) precomputes, per query, the squared
+distance from each query sub-vector to every codebook entry — an
+``(m, 2**bits)`` lookup table — and a candidate's approximate squared
+distance is the sum of ``m`` table cells selected by its code.
+
+Used by :class:`repro.ann.ivfpq.IVFPQBackend` on *residuals* (vector minus
+its coarse centroid), the classic IVF-PQ layout.  Training is deterministic
+(seeded k-means per subspace), which keeps index rebuilds and
+snapshot/restore bit-stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.kmeans import assign_to_centroids, kmeans
+from repro.serving.index import as_float32_matrix
+
+#: Cap on ``bits`` — codes are stored as uint16.
+_MAX_BITS = 16
+
+
+def largest_divisor_at_most(dim: int, m: int) -> int:
+    """The largest divisor of ``dim`` that is ``<= m`` (at least 1)."""
+    for candidate in range(min(m, dim), 0, -1):
+        if dim % candidate == 0:
+            return candidate
+    return 1
+
+
+class ProductQuantizer:
+    """Per-subspace codebooks over ``m`` contiguous slices of the input dim.
+
+    ``m`` is clamped to the largest divisor of ``dim`` not exceeding the
+    request (so any geometry quantizes; ``m=1`` degenerates to plain vector
+    quantization), and the per-subspace codebook size is ``2**bits`` clamped
+    to the number of training rows.
+    """
+
+    def __init__(self, dim: int, m: int = 8, bits: int = 8, *, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if not 1 <= bits <= _MAX_BITS:
+            raise ValueError(f"bits must be in [1, {_MAX_BITS}]")
+        self.dim = int(dim)
+        self.m = largest_divisor_at_most(self.dim, int(m))
+        self.subdim = self.dim // self.m
+        self.bits = int(bits)
+        self.seed = int(seed)
+        self.codebooks: np.ndarray | None = None  # (m, ks, subdim) once trained
+
+    @property
+    def is_trained(self) -> bool:
+        return self.codebooks is not None
+
+    @property
+    def codebook_size(self) -> int:
+        """Entries per subspace codebook (``ks``); 0 before training."""
+        return 0 if self.codebooks is None else self.codebooks.shape[1]
+
+    def _split(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = as_float32_matrix(vectors)
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"vector dimension {vectors.shape[1]} != PQ dimension {self.dim}")
+        return vectors.reshape(vectors.shape[0], self.m, self.subdim)
+
+    def train(self, vectors: np.ndarray) -> "ProductQuantizer":
+        """Fit one seeded k-means codebook per subspace; returns ``self``."""
+        split = self._split(vectors)
+        if split.shape[0] < 1:
+            raise ValueError("PQ training needs at least one vector")
+        ks = min(2**self.bits, split.shape[0])
+        self.codebooks = np.stack(
+            [
+                kmeans(np.ascontiguousarray(split[:, j]), ks, seed=self.seed + j)
+                for j in range(self.m)
+            ]
+        )
+        return self
+
+    def _require_trained(self) -> np.ndarray:
+        if self.codebooks is None:
+            raise RuntimeError("ProductQuantizer is untrained; call train() first")
+        return self.codebooks
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize to ``(N, m)`` uint16 codebook indices."""
+        codebooks = self._require_trained()
+        split = self._split(vectors)
+        codes = np.empty((split.shape[0], self.m), dtype=np.uint16)
+        for j in range(self.m):
+            assignments, _ = assign_to_centroids(
+                np.ascontiguousarray(split[:, j]), codebooks[j]
+            )
+            codes[:, j] = assignments
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct ``(N, dim)`` float32 vectors from codes."""
+        codebooks = self._require_trained()
+        codes = np.asarray(codes)
+        gathered = codebooks[np.arange(self.m)[None, :], codes.astype(np.int64)]
+        return gathered.reshape(codes.shape[0], self.dim)
+
+    def lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """ADC tables: ``tables[q, j, c]`` = squared distance from query ``q``'s
+        ``j``-th sub-vector to codebook entry ``c`` — shape ``(Q, m, ks)``."""
+        codebooks = self._require_trained()
+        split = self._split(queries)  # (Q, m, subdim)
+        diff = split[:, :, None, :] - codebooks[None, :, :, :]
+        return np.einsum("qjcd,qjcd->qjc", diff, diff)
+
+    def dot_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Inner-product tables: ``tables[q, j, c] = q_sub_j . codebook[j, c]``.
+
+        The cheap half of the ADC expansion ``|q - r|^2 = |q|^2 + |r|^2 -
+        2 q.r``: combined with precomputed candidate norms these order
+        candidates identically to :meth:`lookup_tables` (the ``|q|^2`` term
+        is constant per query), at one table build per query *block* instead
+        of per (query, probed-list) pair.
+        """
+        codebooks = self._require_trained()
+        split = self._split(queries)
+        return np.einsum("qjd,jcd->qjc", split, codebooks)
+
+    def gather_sum(self, tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Sum each candidate's ``m`` table cells: ``(Q, m, ks) x (N, m) ->
+        (Q, N)`` — the shared gather behind both ADC table flavours."""
+        codes = np.asarray(codes, dtype=np.int64)
+        # Index arrays broadcast to (m, N), giving (Q, m, N) before the sum.
+        gathered = tables[:, np.arange(self.m)[:, None], codes.T]
+        return gathered.sum(axis=1)
+
+    def adc(self, tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Approximate squared distances ``(Q, N)`` from ADC ``tables`` and
+        candidate ``codes`` — ``m`` table lookups summed per pair, no decode."""
+        return self.gather_sum(tables, codes)

@@ -22,8 +22,23 @@ Built-in backends
 ``"sharded"``
     The :class:`~repro.streaming.shards.ShardedIndex`: append-only segments,
     O(1) tombstone removals, compaction, query fan-out + k-way merge.  The
-    production serving path, and the only built-in backend supporting
-    ``remove``/``compact``.
+    exact production serving path.
+``"ivf"``
+    :class:`~repro.ann.ivf.IVFBackend`: k-means inverted lists, per-query
+    ``nprobe`` probing with exact re-ranking of every probed candidate.
+    Approximate (recall < 1 when the true neighbour's list is unprobed) but
+    sub-linear in the corpus; ``nprobe >= nlist`` degenerates to the exact
+    bruteforce scan bit-identically.  Supports remove/compact.
+``"ivfpq"``
+    :class:`~repro.ann.ivfpq.IVFPQBackend`: IVF + product-quantized residual
+    codes scanned with ADC lookup tables, exact re-rank of the best
+    ``rerank`` candidates per query.  Supports remove/compact.
+
+The ANN backends take their knobs (``nlist``, ``nprobe``, ``train_size``,
+``seed``, ``pq_m``, ``pq_bits``, ``rerank``) through
+:func:`create_backend`'s extra keyword arguments — from the facade, set
+``EngineConfig(backend_params={...})``.  Every registered backend must pass
+the conformance suite in ``tests/backend_conformance.py``.
 
 Bit-identity: ``"chunked"`` and ``"sharded"`` run the same chunked GEMM
 kernel, so whenever ``shard_capacity`` is a multiple of
@@ -49,6 +64,8 @@ from typing import Callable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.ann.ivf import IVFBackend
+from repro.ann.ivfpq import IVFPQBackend
 from repro.serving.index import (
     DEFAULT_DATABASE_CHUNK,
     DEFAULT_QUERY_CHUNK,
@@ -148,8 +165,15 @@ def create_backend(
     shard_capacity: int = DEFAULT_SHARD_CAPACITY,
     query_chunk_size: int = DEFAULT_QUERY_CHUNK,
     database_chunk_size: int = DEFAULT_DATABASE_CHUNK,
+    **backend_params,
 ) -> IndexBackend:
-    """Instantiate the backend registered under ``name``."""
+    """Instantiate the backend registered under ``name``.
+
+    Extra keyword arguments are forwarded to the factory verbatim — the
+    backend-specific knobs (``nlist``/``nprobe``/``pq_m``/… for the ANN
+    backends).  A backend that does not take a given knob raises its natural
+    ``TypeError``, so typos never pass silently.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -161,6 +185,7 @@ def create_backend(
         shard_capacity=shard_capacity,
         query_chunk_size=query_chunk_size,
         database_chunk_size=database_chunk_size,
+        **backend_params,
     )
 
 
@@ -177,6 +202,11 @@ class _ArrayBackend:
 
     name = "array"
     supports_removal = False
+    #: Conformance hint (see ``tests/backend_conformance.py``): exact
+    #: backends promise oracle-identical neighbour ids; approximate ones
+    #: (the ANN package) set this ``False`` and promise faithfulness
+    #: invariants instead.
+    is_exact = True
 
     def __init__(
         self,
@@ -415,6 +445,7 @@ class ShardedBackend:
 
     name = "sharded"
     supports_removal = True
+    is_exact = True
 
     def __init__(
         self,
@@ -473,3 +504,10 @@ class ShardedBackend:
         for shard in self._index.shards:
             if len(shard):
                 yield shard.vectors, shard.ids, shard.dead
+
+
+# The ANN backends live below this layer (repro.ann imports only the serving
+# kernels); they are registered here so `import repro.api` is the single
+# point where the built-in registry is assembled.
+register_backend("ivf", IVFBackend)
+register_backend("ivfpq", IVFPQBackend)

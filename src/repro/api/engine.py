@@ -56,7 +56,11 @@ class EngineConfig:
     reconstructed by :meth:`Engine.load`; ``backend`` selects the index
     implementation from the :mod:`repro.api.backends` registry; the geometry
     fields flow into whichever backend is chosen (backends may ignore hints
-    that do not apply to them).
+    that do not apply to them).  ``backend_params`` is the passthrough for
+    backend-*specific* knobs the shared geometry fields cannot name — e.g.
+    ``{"nlist": 128, "nprobe": 8}`` for ``backend="ivf"``, or ``pq_m`` /
+    ``pq_bits`` / ``rerank`` / ``train_size`` for ``"ivfpq"``; a knob the
+    chosen backend does not take raises ``TypeError`` at construction.
     """
 
     start: StartConfig | None = None
@@ -67,6 +71,7 @@ class EngineConfig:
     database_chunk_size: int = DEFAULT_DATABASE_CHUNK
     cache_size: int = DEFAULT_QUERY_CACHE_SIZE
     pretrain_epochs: int | None = None
+    backend_params: dict | None = None
 
     def __post_init__(self) -> None:
         if self.shard_capacity < 1:
@@ -75,6 +80,8 @@ class EngineConfig:
             raise ValueError("chunk sizes must be positive")
         if self.encode_batch_size is not None and self.encode_batch_size < 1:
             raise ValueError("encode_batch_size must be >= 1")
+        if self.backend_params is not None and not isinstance(self.backend_params, dict):
+            raise ValueError("backend_params must be a dict of keyword arguments (or None)")
 
     def variant(self, **overrides) -> "EngineConfig":
         """A modified copy (mirrors :meth:`StartConfig.variant`)."""
@@ -352,6 +359,7 @@ class Engine:
             shard_capacity=self.config.shard_capacity,
             query_chunk_size=self.config.query_chunk_size,
             database_chunk_size=self.config.database_chunk_size,
+            **(self.config.backend_params or {}),
         )
 
     # ------------------------------------------------------------------ #
@@ -441,6 +449,7 @@ class Engine:
             "shard_capacity": self.config.shard_capacity,
             "query_chunk_size": self.config.query_chunk_size,
             "database_chunk_size": self.config.database_chunk_size,
+            "backend_params": self.config.backend_params or {},
             "next_id": self._backend.next_id,
             "dim": self._backend.dim,
         }
@@ -497,6 +506,7 @@ class Engine:
                 shard_capacity=int(manifest["shard_capacity"]),
                 query_chunk_size=int(manifest["query_chunk_size"]),
                 database_chunk_size=int(manifest["database_chunk_size"]),
+                backend_params=manifest.get("backend_params") or None,
             )
         engine = cls(encoder, config)
         # Backends with tombstone support replay the exact original layout

@@ -134,6 +134,7 @@ def evaluate_representation_search(
     *,
     shard_capacity: int | None = None,
     backend: str = "sharded",
+    backend_params: dict | None = None,
 ) -> dict[str, float]:
     """Evaluate a representation model on the most-similar search task.
 
@@ -142,15 +143,86 @@ def evaluate_representation_search(
     The benchmark database is ingested into a :class:`repro.api.Engine`
     whose index ``backend`` defaults to ``"sharded"`` — the production
     sharded query path, bit-identical to the monolithic index at the default
-    geometry.  ``shard_capacity`` overrides the shard size.
+    geometry.  ``shard_capacity`` overrides the shard size and
+    ``backend_params`` passes backend-specific knobs (``nlist``/``nprobe``/…
+    for the ANN backends; their MR/HR numbers are unchanged because ranks
+    are computed exactly by every backend — use
+    :func:`sweep_search_backends` to measure what approximation *does*
+    change, top-k recall and query latency).
     """
-    config = EngineConfig(backend=backend, encode_batch_size=encode_batch_size)
+    config = EngineConfig(
+        backend=backend, encode_batch_size=encode_batch_size, backend_params=backend_params
+    )
     if shard_capacity is not None:
         config = config.variant(shard_capacity=shard_capacity)
     engine = Engine(encode, config)
     engine.ingest(benchmark.database)
     query_vectors = engine.encode(benchmark.queries)
     return search_report_on_index(engine, query_vectors, benchmark.ground_truth)
+
+
+def recall_against_exact(exact_ids: np.ndarray, candidate_ids: np.ndarray) -> float:
+    """Mean per-query overlap between a backend's top-k ids and the exact ones."""
+    if exact_ids.shape != candidate_ids.shape:
+        raise ValueError("exact and candidate id arrays must have the same shape")
+    if exact_ids.size == 0:
+        return 1.0
+    hits = [
+        len(set(map(int, exact_ids[row])) & set(map(int, candidate_ids[row])))
+        for row in range(exact_ids.shape[0])
+    ]
+    return float(np.mean(hits)) / exact_ids.shape[1]
+
+
+def sweep_search_backends(
+    encode,
+    benchmark: SimilarityBenchmark,
+    backends: tuple[str, ...] = ("sharded", "ivf", "ivfpq"),
+    *,
+    k: int = 10,
+    backend_params: dict[str, dict] | None = None,
+    encode_batch_size: int | None = None,
+    timer_repeats: int = 3,
+) -> dict[str, dict[str, float]]:
+    """Serve one benchmark corpus through several index backends.
+
+    The database and queries are encoded **once** and the same vectors feed
+    every backend, so the sweep isolates the index from the model.  Per
+    backend the report carries the ranking metrics (MR / HR — exact for
+    every backend), ``recall@k`` of its top-k ids against the bruteforce
+    reference, and the best-of-``timer_repeats`` query wall time (measured at
+    the backend, below the engine's query cache).  ``backend_params`` maps a
+    backend name to its knob dict, e.g. ``{"ivf": {"nlist": 128}}``.
+    """
+    from repro.utils.timer import Timer
+
+    if timer_repeats < 1:
+        raise ValueError("timer_repeats must be >= 1")
+    params = backend_params or {}
+    shared = Engine(encode, EngineConfig(encode_batch_size=encode_batch_size))
+    database_vectors = shared.encode(benchmark.database)
+    query_vectors = shared.encode(benchmark.queries)
+    reference = Engine(encode, EngineConfig(backend="bruteforce"))
+    reference.ingest_vectors(database_vectors)
+    exact_ids = reference.backend.top_k(query_vectors, k).indices
+
+    sweep: dict[str, dict[str, float]] = {}
+    for name in backends:
+        engine = Engine(
+            encode, EngineConfig(backend=name, backend_params=params.get(name))
+        )
+        engine.ingest_vectors(database_vectors)
+        engine.backend.top_k(query_vectors, k)  # warm-up: lazy (re)builds
+        best = float("inf")
+        for _ in range(timer_repeats):
+            with Timer() as timer:
+                result = engine.backend.top_k(query_vectors, k)
+            best = min(best, timer.elapsed)
+        report = search_report_on_index(engine, query_vectors, benchmark.ground_truth)
+        report["recall@k"] = recall_against_exact(exact_ids, result.indices)
+        report["query_seconds"] = best
+        sweep[name] = report
+    return sweep
 
 
 def evaluate_classical_search(

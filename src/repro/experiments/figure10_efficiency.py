@@ -19,10 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api import Engine, EngineConfig
+from repro.api import Engine, EngineConfig, QueryRequest
 from repro.baselines import CLASSICAL_MEASURES, ClassicalSimilarity
 from repro.core.config import StartConfig
-from repro.eval.similarity import most_similar_search_report, search_report_on_index
+from repro.eval.similarity import (
+    most_similar_search_report,
+    recall_against_exact,
+    search_report_on_index,
+)
 from repro.experiments.datasets import experiment_dataset
 from repro.experiments.model_zoo import TABLE2_MODELS, ZooSettings, pretrained_model_zoo
 from repro.experiments.reporting import format_series
@@ -43,6 +47,11 @@ class Figure10Settings:
     inference_models: tuple[str, ...] = TABLE2_MODELS
     config: StartConfig | None = None
     backend: str = "chunked"  # repro.api index backend serving the deep queries
+    #: Optional ANN sweep: each named backend re-serves the deep vectors and
+    #: reports per-query time + top-10 recall against the exact backend.
+    ann_backends: tuple[str, ...] = ()
+    ann_params: dict | None = None  # backend name -> backend_params dict
+    ann_recall_k: int = 10
 
 
 def run_inference_timing(dataset_name: str = "synthetic-porto", settings: Figure10Settings | None = None) -> dict:
@@ -101,6 +110,35 @@ def run_similarity_scalability(
             result["query_time"].setdefault(name, []).append(timer.elapsed / len(benchmark.queries))
             result["mean_rank"].setdefault(name, []).append(report["MR"])
 
+            # Optional ANN sweep: the *same* vectors re-served through the
+            # approximate backends — what changes is top-k recall and query
+            # time, never the (exactly computed) mean rank.
+            if settings.ann_backends:
+                k = min(settings.ann_recall_k, len(benchmark.database))
+                exact_ids = engine.query(QueryRequest(queries=query_vectors, k=k)).ids
+                # The exact engine already encoded the database during ingest;
+                # its stored segments are those vectors in insertion order, so
+                # the ANN backends reuse them without a second forward pass.
+                database_vectors = np.concatenate(
+                    [vectors for vectors, _, _ in engine.backend.segments()]
+                )
+                for ann_name in settings.ann_backends:
+                    params = (settings.ann_params or {}).get(ann_name)
+                    ann_engine = Engine(
+                        model, EngineConfig(backend=ann_name, backend_params=params)
+                    )
+                    ann_engine.ingest_vectors(database_vectors)
+                    ann_engine.backend.top_k(query_vectors, k)  # warm-up build
+                    with Timer() as ann_timer:
+                        approx = ann_engine.backend.top_k(query_vectors, k)
+                    label = f"{name}[{ann_name}]"
+                    result["query_time"].setdefault(label, []).append(
+                        ann_timer.elapsed / len(benchmark.queries)
+                    )
+                    result.setdefault("recall_at_k", {}).setdefault(label, []).append(
+                        recall_against_exact(exact_ids, approx.indices)
+                    )
+
         for measure in settings.classical_measures:
             similarity = ClassicalSimilarity(dataset.network, measure)
             with Timer() as timer:
@@ -135,4 +173,8 @@ def format_figure10(result: dict) -> str:
     lines.append("(c) mean rank of the ground truth")
     for name, series in similarity["mean_rank"].items():
         lines.append("  " + format_series(name, similarity["query_sizes"], series, "{:.2f}"))
+    if similarity.get("recall_at_k"):
+        lines.append("(d) ANN top-k recall vs the exact backend")
+        for name, series in similarity["recall_at_k"].items():
+            lines.append("  " + format_series(name, similarity["query_sizes"], series, "{:.2f}"))
     return "\n".join(lines)

@@ -265,6 +265,10 @@ class ShardedIndex:
         self.database_chunk_size = int(database_chunk_size)
         self._shards: list[IndexShard] = []
         self._shard_by_id: dict[int, IndexShard] = {}
+        #: Ids of tombstoned rows still stored in some shard: re-adding one
+        #: would store two rows under the same id (and make snapshots
+        #: unrestorable), so `add` rejects them until `compact`.
+        self._dead_ids: set[int] = set()
         self._next_id = 0
         self.generation = 0
 
@@ -352,6 +356,11 @@ class ShardedIndex:
             for row_id in ids:
                 if int(row_id) in self._shard_by_id:
                     raise ValueError(f"row id {int(row_id)} already present")
+                if int(row_id) in self._dead_ids:
+                    raise ValueError(
+                        f"row id {int(row_id)} is tombstoned but still stored; "
+                        "compact() before reusing it"
+                    )
         if count == 0:
             return ids
         written = 0
@@ -381,6 +390,7 @@ class ShardedIndex:
         for row_id in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
             shard = self._shard_by_id.pop(int(row_id), None)
             if shard is not None and shard.remove(int(row_id)):
+                self._dead_ids.add(int(row_id))
                 removed += 1
         if removed:
             self.generation += 1
@@ -403,6 +413,7 @@ class ShardedIndex:
             survivors_i.append(shard.ids[alive])
         self._shards = []
         self._shard_by_id = {}
+        self._dead_ids = set()
         next_id = self._next_id
         generation = self.generation
         if survivors_v:

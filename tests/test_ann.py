@@ -1,0 +1,254 @@
+"""Unit + property tests for `repro.ann`: k-means, PQ, IVF, IVF-PQ.
+
+The two hypothesis properties pin the ANN backends' sharp guarantees:
+
+* **exhaustive probing is the oracle** — with ``nprobe >= nlist`` both ANN
+  backends return ids *and distances* bit-identical to the bruteforce
+  backend, for any corpus/geometry (the scan degenerates to the oracle's own
+  full-matrix arithmetic by construction);
+* **recall is monotone in nprobe** — per query, probed lists are a prefix of
+  the same coarse-distance ordering, so growing ``nprobe`` grows the
+  candidate set and exact re-ranking can only keep or improve recall@k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import IVFBackend, IVFPQBackend, ProductQuantizer, assign_to_centroids, kmeans
+from repro.ann.pq import largest_divisor_at_most
+from repro.api import create_backend
+
+
+def random_corpus(seed: int, rows: int, dim: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((rows, dim)).astype(np.float32)
+
+
+def recall_against(oracle_ids: np.ndarray, candidate_ids: np.ndarray) -> float:
+    """Mean per-query overlap fraction with the oracle's neighbour set."""
+    assert oracle_ids.shape == candidate_ids.shape
+    if oracle_ids.shape[1] == 0:
+        return 1.0
+    hits = [
+        len(set(map(int, oracle_ids[row])) & set(map(int, candidate_ids[row])))
+        for row in range(oracle_ids.shape[0])
+    ]
+    return float(np.mean(hits)) / oracle_ids.shape[1]
+
+
+class TestKMeans:
+    def test_deterministic_given_seed(self):
+        data = random_corpus(1, 200, 8)
+        a = kmeans(data, 16, seed=5)
+        b = kmeans(data, 16, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = kmeans(data, 16, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_shapes_and_validation(self):
+        data = random_corpus(2, 50, 4)
+        centroids = kmeans(data, 7, seed=0)
+        assert centroids.shape == (7, 4)
+        assert centroids.dtype == np.float32
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(data, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(data, 51)
+
+    def test_k_equals_n_with_duplicates_yields_finite_centroids(self):
+        """Empty-cluster repair must never divide by zero (k == n forces
+        empties when rows are duplicated)."""
+        data = random_corpus(3, 20, 3)
+        data[5] = data[2]
+        data[11] = data[2]
+        centroids = kmeans(data, 20, seed=0)
+        assert np.isfinite(centroids).all()
+
+    def test_assignment_reduces_inertia(self):
+        data = random_corpus(4, 300, 6)
+        _, d_one = assign_to_centroids(data, kmeans(data, 1, seed=0))
+        _, d_many = assign_to_centroids(data, kmeans(data, 12, seed=0))
+        assert d_many.sum() < d_one.sum()
+
+    def test_clustered_data_recovers_clusters(self):
+        rng = np.random.default_rng(5)
+        centers = rng.standard_normal((4, 5)).astype(np.float32) * 20
+        data = np.concatenate(
+            [center + rng.standard_normal((40, 5)).astype(np.float32) for center in centers]
+        )
+        assignments, _ = assign_to_centroids(data, kmeans(data, 4, seed=0))
+        # Every ground-truth blob lands in exactly one learned cluster.
+        for blob in range(4):
+            assert len(set(assignments[blob * 40 : (blob + 1) * 40].tolist())) == 1
+
+
+class TestProductQuantizer:
+    def test_m_clamps_to_a_divisor(self):
+        assert largest_divisor_at_most(12, 8) == 6
+        assert largest_divisor_at_most(7, 4) == 1
+        pq = ProductQuantizer(dim=10, m=4, bits=4)
+        assert pq.m == 2 and pq.subdim == 5
+
+    def test_encode_decode_reduces_error_with_bits(self):
+        data = random_corpus(6, 400, 8)
+        errors = []
+        for bits in (2, 6):
+            pq = ProductQuantizer(dim=8, m=4, bits=bits, seed=0).train(data)
+            reconstructed = pq.decode(pq.encode(data))
+            errors.append(float(((data - reconstructed) ** 2).sum()))
+        assert errors[1] < errors[0]
+
+    def test_adc_matches_decoded_distances(self):
+        """ADC table sums must equal squared distances to decoded vectors."""
+        data = random_corpus(7, 300, 8)
+        queries = random_corpus(8, 5, 8)
+        pq = ProductQuantizer(dim=8, m=4, bits=5, seed=0).train(data)
+        codes = pq.encode(data)
+        approx = pq.adc(pq.lookup_tables(queries), codes)
+        decoded = pq.decode(codes)
+        explicit = ((queries[:, None, :] - decoded[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(approx, explicit, rtol=1e-4, atol=1e-4)
+
+    def test_untrained_raises(self):
+        pq = ProductQuantizer(dim=8, m=4, bits=4)
+        with pytest.raises(RuntimeError, match="untrained"):
+            pq.encode(random_corpus(9, 3, 8))
+
+
+class TestIVFSpecifics:
+    def test_params_validated(self):
+        for bad in (dict(nlist=0), dict(nprobe=0), dict(train_size=0)):
+            with pytest.raises(ValueError):
+                IVFBackend(**bad)
+        for bad in (dict(pq_m=0), dict(rerank=0), dict(pq_bits=0)):
+            with pytest.raises(ValueError):
+                IVFPQBackend(**bad)
+        with pytest.raises(TypeError):
+            create_backend("sharded", nlist=4)  # knobs don't leak across backends
+
+    def test_backend_params_reach_the_factory(self):
+        backend = create_backend("ivf", nlist=5, nprobe=2, train_size=100, seed=9)
+        assert (backend.nlist, backend.nprobe, backend.train_size, backend.seed) == (5, 2, 100, 9)
+        pq = create_backend("ivfpq", pq_m=2, pq_bits=3, rerank=7)
+        assert (pq.pq_m, pq.pq_bits, pq.rerank) == (2, 3, 7)
+
+    def test_centroids_cached_across_appends_once_train_size_reached(self):
+        backend = IVFBackend(nlist=4, nprobe=2, train_size=32, seed=0)
+        backend.add(random_corpus(10, 40, 4))
+        backend.top_k(random_corpus(11, 2, 4), 3)  # builds the structure
+        first_cache = backend._centroid_cache
+        assert first_cache is not None
+        backend.add(random_corpus(12, 10, 4))  # prefix of 32 train rows unchanged
+        backend.top_k(random_corpus(11, 2, 4), 3)
+        assert backend._centroid_cache is first_cache  # no re-train
+        backend.remove(np.arange(5))
+        backend.compact()
+        assert backend._centroid_cache is None  # compaction rewrites the prefix
+
+    def test_probing_expands_until_k_alive_candidates(self):
+        """nprobe=1 with k near the corpus size must still fill k columns."""
+        corpus = random_corpus(13, 30, 4)
+        backend = IVFBackend(nlist=10, nprobe=1, seed=0)
+        backend.add(corpus)
+        result = backend.top_k(random_corpus(14, 3, 4), 25)
+        assert result.indices.shape == (3, 25)
+        assert np.isfinite(result.distances).all()
+        assert (result.indices >= 0).all()
+
+    def test_high_nprobe_beats_low_nprobe_on_clustered_data(self):
+        rng = np.random.default_rng(15)
+        centers = rng.standard_normal((8, 6)).astype(np.float32) * 10
+        corpus = np.concatenate(
+            [center + rng.standard_normal((50, 6)).astype(np.float32) for center in centers]
+        )
+        queries = corpus[::37] + 0.01 * rng.standard_normal((11, 6)).astype(np.float32)
+        oracle = create_backend("bruteforce")
+        oracle.add(corpus)
+        truth = oracle.top_k(queries, 10).indices
+        recalls = []
+        for nprobe in (1, 4):
+            backend = create_backend("ivf", nlist=8, nprobe=nprobe, seed=0)
+            backend.add(corpus)
+            recalls.append(recall_against(truth, backend.top_k(queries, 10).indices))
+        assert recalls[1] >= recalls[0]
+        assert recalls[1] >= 0.9  # clustered data: 4/8 lists is nearly exact
+
+    def test_ivfpq_rerank_pool_covering_probed_candidates_is_exact_on_them(self):
+        """With rerank >= corpus the ADC stage only orders candidates; the
+        returned ids of probed rows carry their true distances."""
+        corpus = random_corpus(16, 64, 8)
+        backend = IVFPQBackend(nlist=8, nprobe=8, pq_m=4, pq_bits=4, rerank=64, seed=0)
+        backend.add(corpus)
+        oracle = create_backend("bruteforce")
+        oracle.add(corpus)
+        queries = random_corpus(17, 6, 8)
+        # nprobe == nlist -> bit-identical oracle path even through PQ backend.
+        result = backend.top_k(queries, 7)
+        expected = oracle.top_k(queries, 7)
+        np.testing.assert_array_equal(result.indices, expected.indices)
+        assert (result.distances == expected.distances).all()
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rows=st.integers(1, 90),
+        num_queries=st.integers(1, 8),
+        dim=st.integers(2, 8),
+        nlist=st.integers(1, 12),
+        k=st.integers(1, 12),
+        backend_name=st.sampled_from(["ivf", "ivfpq"]),
+    )
+    def test_exhaustive_probing_is_bit_identical_to_bruteforce(
+        self, seed, rows, num_queries, dim, nlist, k, backend_name
+    ):
+        """nprobe >= nlist  ==>  ids and distances match the oracle bitwise,
+        and ranks_of agrees exactly, for any corpus/geometry."""
+        rng = np.random.default_rng(seed)
+        corpus = rng.standard_normal((rows, dim)).astype(np.float32)
+        queries = rng.standard_normal((num_queries, dim)).astype(np.float32)
+        oracle = create_backend("bruteforce")
+        oracle.add(corpus)
+        backend = create_backend(
+            backend_name, nlist=nlist, nprobe=nlist, seed=seed % 97, train_size=max(1, rows // 2)
+        )
+        backend.add(corpus)
+        expected = oracle.top_k(queries, k)
+        result = backend.top_k(queries, k)
+        np.testing.assert_array_equal(result.indices, expected.indices)
+        assert (result.distances == expected.distances).all()  # bitwise, not allclose
+        truth = rng.integers(0, rows, size=num_queries)
+        np.testing.assert_array_equal(
+            backend.ranks_of(queries, truth), oracle.ranks_of(queries, truth)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rows=st.integers(8, 80),
+        num_queries=st.integers(1, 6),
+        dim=st.integers(2, 6),
+        nlist=st.integers(2, 8),
+        k=st.integers(1, 6),
+    )
+    def test_ivf_recall_is_monotone_in_nprobe(self, seed, rows, num_queries, dim, nlist, k):
+        """Probed lists are a per-query prefix of one fixed coarse ordering,
+        so recall@k never decreases as nprobe grows — ending at 1.0 when
+        nprobe == nlist (the oracle path)."""
+        rng = np.random.default_rng(seed)
+        corpus = rng.standard_normal((rows, dim)).astype(np.float32)
+        queries = rng.standard_normal((num_queries, dim)).astype(np.float32)
+        oracle = create_backend("bruteforce")
+        oracle.add(corpus)
+        truth = oracle.top_k(queries, k).indices
+        recalls = []
+        for nprobe in range(1, nlist + 1):
+            backend = create_backend("ivf", nlist=nlist, nprobe=nprobe, seed=seed % 89)
+            backend.add(corpus)
+            recalls.append(recall_against(truth, backend.top_k(queries, k).indices))
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:])), recalls
+        assert recalls[-1] == 1.0

@@ -37,7 +37,7 @@ _LOCKED_DATACLASSES = (
 )
 
 #: Backends that must always be available from a clean install.
-_BUILTIN_BACKENDS = ("bruteforce", "chunked", "sharded")
+_BUILTIN_BACKENDS = ("bruteforce", "chunked", "ivf", "ivfpq", "sharded")
 
 
 def current_surface() -> dict:

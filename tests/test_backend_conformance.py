@@ -1,0 +1,48 @@
+"""Run the `IndexBackend` conformance suite against every registered backend.
+
+``backend_name`` is parametrized at collection time over
+:func:`repro.api.available_backends`, so the five built-ins *and* any
+third-party backend registered before collection (e.g. by a plugin's
+conftest) are all held to the same contract.  The suite itself lives in
+``tests/backend_conformance.py`` — the executable form of the registry
+contract documented in ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from backend_conformance import IndexBackendConformanceSuite, make_backend
+from repro.api import available_backends, register_backend, unregister_backend
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_name" in metafunc.fixturenames:
+        metafunc.parametrize("backend_name", available_backends())
+
+
+class TestRegisteredBackends(IndexBackendConformanceSuite):
+    """All currently registered backends, one parametrized run each."""
+
+
+def test_builtins_are_all_covered():
+    assert {"bruteforce", "chunked", "sharded", "ivf", "ivfpq"} <= set(available_backends())
+
+
+def test_third_party_registration_is_picked_up_by_the_kit():
+    """A drop-in backend registered under a new name goes through the same
+    factory path the parametrized suite uses (full-suite coverage happens
+    automatically once the registration exists at collection time)."""
+
+    @register_backend("conformance-demo")
+    def factory(**kwargs):
+        from repro.api import create_backend
+
+        return create_backend("sharded", **kwargs)
+
+    try:
+        backend = make_backend("conformance-demo")
+        backend.add(np.ones((3, 2), dtype=np.float32))
+        assert len(backend) == 3
+    finally:
+        unregister_backend("conformance-demo")

@@ -256,6 +256,8 @@ class TestFigureRunners:
             inference_models=("Trembr", "START"),
             classical_measures=("DTW",),
             config=SMOKE_CONFIG,
+            ann_backends=("ivf", "ivfpq"),
+            ann_params={"ivf": {"nlist": 4, "nprobe": 2}},
         )
         result = run_figure10("synthetic-porto", settings)
         inference = result["inference"]
@@ -264,4 +266,12 @@ class TestFigureRunners:
             assert len(series) == 2 and all(value >= 0 for value in series)
         similarity = result["similarity"]
         assert "START" in similarity["query_time"] and "DTW" in similarity["query_time"]
-        assert "Figure 10" in format_figure10(result)
+        # The ANN sweep serves the same vectors through the approximate
+        # backends and reports per-query time + recall against the exact ids.
+        for label in ("START[ivf]", "START[ivfpq]"):
+            assert label in similarity["query_time"]
+            recalls = similarity["recall_at_k"][label]
+            assert len(recalls) == len(similarity["query_sizes"])
+            assert all(0.0 <= value <= 1.0 for value in recalls)
+        formatted = format_figure10(result)
+        assert "Figure 10" in formatted and "ANN top-k recall" in formatted
