@@ -34,6 +34,9 @@ Sub-packages
     ``repro.api`` backend registry.
 ``repro.streaming``
     Streaming internals: JSONL tail reader, sharded index, ingest service.
+``repro.server``
+    Concurrent serving runtime: batch aggregation, replica query workers,
+    background stream ingest, checkpoint/restart.
 ``repro.eval``
     Metrics and downstream-task evaluation harnesses.
 ``repro.experiments``
@@ -59,6 +62,7 @@ _SUBPACKAGES = frozenset(
         "experiments",
         "nn",
         "roadnet",
+        "server",
         "serving",
         "streaming",
         "trajectory",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import tempfile
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -405,6 +406,77 @@ class Engine:
         """The single nearest row per query (:meth:`query` with ``k=1``)."""
         return self.query(QueryRequest(queries=queries, k=1))
 
+    def query_many(
+        self, requests: Sequence["QueryRequest | np.ndarray"], *, coalesce: str = "aligned"
+    ) -> list[QueryResponse]:
+        """Answer a batch of concurrent-caller requests in one call.
+
+        This is the execution primitive behind the serving runtime's batch
+        aggregator; the ``coalesce`` mode decides what may be amortised
+        across the callers:
+
+        ``"aligned"`` (default)
+            Each request runs through :meth:`query` with its *own* kernel
+            shapes.  Responses are **bitwise identical** to the same
+            requests issued sequentially — BLAS reduction order is not
+            shape-invariant (a ``(1, d)`` matvec and a row of a ``(32, d)``
+            GEMM differ in the last ulps), so matching shapes is the only
+            way to guarantee it (the same doctrine as the sharded/chunked
+            bit-identity contract).
+        ``"fused"``
+            Cache-missing requests are grouped by ``k``, their query rows
+            stacked, and each group is answered by **one** scan over the
+            index — one GEMM amortising the database read across callers.
+            Distances may drift from the sequential answer in the last ulps
+            (and neighbour order may flip across a genuine distance tie);
+            use it when throughput matters more than bit-reproducibility.
+
+        Both modes consult and fill the engine's LRU query cache per
+        request, and return one :class:`QueryResponse` per request, in
+        request order.
+        """
+        normalised = [
+            request if isinstance(request, QueryRequest) else QueryRequest(queries=request)
+            for request in requests
+        ]
+        if coalesce == "aligned":
+            return [self.query(request) for request in normalised]
+        if coalesce != "fused":
+            raise ValueError(f"unknown coalesce mode '{coalesce}' (use 'aligned' or 'fused')")
+        responses: list[QueryResponse | None] = [None] * len(normalised)
+        misses: dict[int, list[tuple[int, np.ndarray, tuple]]] = {}
+        for position, request in enumerate(normalised):
+            vectors = self._query_vectors(request.queries)
+            digest = hashlib.blake2b(vectors.tobytes(), digest_size=16).hexdigest()
+            key = (self._backend.generation, vectors.shape, int(request.k), digest)
+            cached = self._cache.get(key)
+            if cached is not None:
+                responses[position] = cached
+            else:
+                misses.setdefault(int(request.k), []).append((position, vectors, key))
+        for k, group in misses.items():
+            if len(group) == 1:
+                stacked = group[0][1]
+            else:
+                stacked = np.concatenate([vectors for _, vectors, _ in group], axis=0)
+            result = self._backend.top_k(stacked, k)
+            row = 0
+            for position, vectors, key in group:
+                rows = vectors.shape[0]
+                ids = result.indices[row : row + rows]
+                distances = result.distances[row : row + rows]
+                row += rows
+                response = QueryResponse(
+                    ids=ids,
+                    distances=distances,
+                    trajectory_ids=self.trajectory_ids(ids),
+                )
+                for array in (response.ids, response.distances, response.trajectory_ids):
+                    array.flags.writeable = False
+                self._cache.put(key, response)
+                responses[position] = response
+        return responses
+
     def ranks_of(self, queries, truth_ids: np.ndarray) -> np.ndarray:
         """1-based rank of ``truth_ids[i]`` among query ``i``'s neighbours.
 
@@ -463,6 +535,30 @@ class Engine:
             segments=len(segment_files),
             format_version=SNAPSHOT_FORMAT_VERSION,
         )
+
+    def replicate(self, directory: str | Path | None = None, *, encoder=None) -> "Engine":
+        """A bit-stable read replica of this engine (snapshot + restore).
+
+        Snapshots the index under ``directory`` (a private temporary
+        directory when ``None``, cleaned up when the replica is garbage
+        collected) and restores it into a fresh engine.  The replica
+        answers vector queries **bit-identically** to this engine at the
+        moment of the call and shares no index state with it afterwards —
+        this is how the serving runtime's query workers get their per-thread
+        indexes.  ``encoder`` defaults to sharing this engine's encoder
+        object; replicas queried with pre-encoded vectors never touch it
+        (callers that encode on replicas concurrently must serialise those
+        encodes themselves — the model is not thread-safe).
+        """
+        tmp = None
+        if directory is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-engine-replica-")
+            directory = tmp.name
+        self.snapshot(directory)
+        replica = Engine.restore(directory, encoder if encoder is not None else self.model)
+        if tmp is not None:
+            replica._replica_tmpdir = tmp
+        return replica
 
     @classmethod
     def restore(

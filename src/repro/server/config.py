@@ -1,0 +1,120 @@
+"""Configuration, hooks and error types of the serving runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+
+class ServerClosed(RuntimeError):
+    """The runtime no longer accepts work (shut down or never started)."""
+
+
+class KillWorker(BaseException):
+    """Raised from a hook to terminate the current query worker.
+
+    The fault-injection escape hatch of the concurrency test-kit: a hook
+    that raises this makes the worker re-enqueue its in-flight batch (no
+    request is lost) and exit, exercising the supervision/respawn path.
+    Derives from ``BaseException`` so a worker's per-request ``except
+    Exception`` error containment cannot swallow it.
+    """
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every knob of a :class:`~repro.server.runtime.ServingRuntime`.
+
+    Query path — ``max_batch`` and ``linger`` drive the size-or-timeout
+    batch aggregator (a batch is dispatched when it holds ``max_batch``
+    requests or when its oldest request has waited ``linger`` seconds);
+    ``num_workers`` query workers each own a bit-stable replica of the
+    primary index; ``coalesce`` picks the batch execution mode of
+    :meth:`repro.api.Engine.query_many` — ``"aligned"`` (default) is
+    bitwise identical to sequential :meth:`~repro.api.Engine.query`,
+    ``"fused"`` amortises one index scan across the batch at last-ulp
+    distance drift.
+
+    Ingest path — stream records are ingested in deterministic groups of
+    exactly ``ingest_group_size`` records (the unit of crash-restart
+    replay); after every ``publish_every_groups`` ingested groups the
+    primary is snapshotted and a fresh replica generation is published to
+    the workers; ``compact_min_tombstones > 0`` compacts the primary before
+    each publish.  ``poll_interval`` is the background thread's stream
+    polling cadence (clock seconds).
+
+    Durability — with a ``checkpoint_dir``, every ``checkpoint_every_publishes``-th
+    publish also writes a restartable checkpoint (index snapshot + stream
+    byte offset); ``0`` checkpoints on every publish.  ``None`` disables
+    checkpointing.
+
+    Supervision — a worker killed by a fault (see :class:`KillWorker`) is
+    replaced until ``max_worker_respawns`` replacements have been spawned;
+    after that, queued batches fail over to the surviving workers, and if
+    none survive, pending requests are failed with :class:`ServerClosed`.
+    """
+
+    max_batch: int = 32
+    linger: float = 0.002
+    num_workers: int = 2
+    coalesce: str = "aligned"
+    ingest_group_size: int = 64
+    publish_every_groups: int = 1
+    poll_interval: float = 0.05
+    compact_min_tombstones: int = 0
+    checkpoint_dir: str | Path | None = None
+    checkpoint_every_publishes: int = 0
+    max_worker_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.linger < 0:
+            raise ValueError("linger must be >= 0")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.coalesce not in ("aligned", "fused"):
+            raise ValueError("coalesce must be 'aligned' or 'fused'")
+        if self.ingest_group_size < 1:
+            raise ValueError("ingest_group_size must be >= 1")
+        if self.publish_every_groups < 1:
+            raise ValueError("publish_every_groups must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if self.compact_min_tombstones < 0:
+            raise ValueError("compact_min_tombstones must be >= 0")
+        if self.checkpoint_every_publishes < 0:
+            raise ValueError("checkpoint_every_publishes must be >= 0")
+        if self.max_worker_respawns < 0:
+            raise ValueError("max_worker_respawns must be >= 0")
+
+    def variant(self, **overrides) -> "ServerConfig":
+        """A modified copy (mirrors :meth:`repro.api.EngineConfig.variant`)."""
+        return replace(self, **overrides)
+
+
+class ServerHooks:
+    """Observation points of the runtime (all default to no-ops).
+
+    Subclass and override to observe — or, in tests, to inject faults into —
+    the runtime's threads.  Hooks run *on the runtime's own threads*: an
+    exception raised from a batch hook fails that batch's requests, and
+    :class:`KillWorker` terminates the hosting worker (the test-kit's
+    worker-crash lever).  Keep implementations fast; they sit on the hot
+    path.
+    """
+
+    def on_batch_start(self, worker_id: int, batch_size: int, generation: int) -> None:
+        """A query worker is about to execute a batch against its replica."""
+
+    def on_batch_done(self, worker_id: int, batch_size: int, generation: int) -> None:
+        """The batch completed and every future in it has been resolved."""
+
+    def on_publish(self, generation: int, rows: int) -> None:
+        """A new replica generation was published from the primary."""
+
+    def on_checkpoint(self, path: Path, generation: int) -> None:
+        """A restartable checkpoint was committed to disk."""
+
+    def on_worker_exit(self, worker_id: int, reason: str) -> None:
+        """A query worker terminated (``reason`` is ``"stop"`` or ``"killed"``)."""

@@ -1,0 +1,602 @@
+"""The concurrent serving runtime: many callers, one engine, zero drift.
+
+:class:`ServingRuntime` turns the single-threaded :class:`repro.api.Engine`
+into a server.  Four cooperating pieces, each individually simple:
+
+**Batch aggregation** (caller threads + one flusher).  Concurrent
+:class:`~repro.api.QueryRequest`\\ s land in a
+:class:`~repro.server.aggregator.BatchAggregator` and are released as one
+batch by size (``max_batch``) or age (``linger``).  Callers block on
+futures; nothing about a caller's answer depends on who it shared a batch
+with — in the default ``"aligned"`` mode responses are **bitwise identical**
+to the same requests issued sequentially through ``Engine.query`` (see
+:meth:`Engine.query_many <repro.api.Engine.query_many>` for why shape
+matching is what buys this).
+
+**Query workers over replicas** (``num_workers`` daemon threads).  Each
+worker owns a private replica engine restored from the latest *published
+generation* — an ``Engine.snapshot`` of the primary, which restores
+bit-identically by the facade's existing contract.  A batch is executed
+entirely against one replica generation, so concurrent ingestion can never
+tear a batch's view of the index.  Workers encode trajectory queries under
+a shared encode lock (the model is not thread-safe); the index scans
+release the GIL and run genuinely in parallel.
+
+**Ingest/compaction thread** (one daemon).  Direct waves
+(:meth:`submit_ingest`) and tailed JSONL records
+(:meth:`attach_stream`) feed the primary.  Stream records are ingested in
+deterministic groups of exactly ``ingest_group_size`` records — the unit of
+crash-restart replay — and after every ``publish_every_groups`` groups the
+primary is compacted (optionally) and snapshotted, publishing a new replica
+generation that workers adopt at their next batch boundary.
+
+**Checkpointing + graceful shutdown.**  With a ``checkpoint_dir``, publishes
+periodically commit a :class:`~repro.server.checkpoint.Checkpointer`
+checkpoint: index snapshot + the stream byte offset *before* any buffered
+records.  Because checkpoints align with group boundaries, a killed server
+restarted via :meth:`ServingRuntime.restore` re-reads the stream from the
+recorded offset and re-forms **exactly** the encode groups the uninterrupted
+run would have formed — the restarted index is bit-identical, not merely
+equivalent.  :meth:`shutdown` drains in-flight queries, stops the workers,
+flushes any partial ingest group and commits a final checkpoint.
+
+Every blocking wait goes through an injected
+:class:`~repro.utils.clock.Clock`, so the whole runtime is drivable by the
+deterministic test-kit in ``tests/serving_runtime_kit.py`` with no real
+sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from concurrent.futures import Future
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.api.engine import Engine
+from repro.api.types import QueryRequest, QueryResponse
+from repro.server.aggregator import BatchAggregator, PendingQuery
+from repro.server.checkpoint import Checkpointer
+from repro.server.config import KillWorker, ServerClosed, ServerConfig, ServerHooks
+from repro.streaming.reader import TrajectoryStreamReader
+from repro.utils.clock import Clock, SystemClock
+
+#: Worker-queue sentinel: the receiving worker exits cleanly.
+_STOP = object()
+
+
+class _QueryWorker(threading.Thread):
+    """One query worker: private replica engine + batch execution loop."""
+
+    def __init__(self, runtime: "ServingRuntime", worker_id: int) -> None:
+        super().__init__(name=f"repro-server-worker-{worker_id}", daemon=True)
+        self.runtime = runtime
+        self.worker_id = worker_id
+        self.replica: Engine | None = None
+        self.replica_generation = -1
+
+    def run(self) -> None:
+        reason = "stop"
+        try:
+            while True:
+                item = self.runtime._queue.get()
+                if item is _STOP:
+                    return
+                batch: list[PendingQuery] = item
+                try:
+                    self._refresh_replica()
+                    self.runtime._hooks.on_batch_start(
+                        self.worker_id, len(batch), self.replica_generation
+                    )
+                    self.runtime._execute_batch(batch, self.replica)
+                    self.runtime._hooks.on_batch_done(
+                        self.worker_id, len(batch), self.replica_generation
+                    )
+                except KillWorker:
+                    reason = "killed"
+                    survivors = [entry for entry in batch if not entry.future.done()]
+                    if survivors:
+                        # The batch outlives its worker: hand it back for a
+                        # surviving (or respawned) worker to serve.
+                        self.runtime._queue.put(survivors)
+                    return
+                except Exception as exc:
+                    # Batch-level failure (replica restore, backend error):
+                    # fail this batch's callers, keep serving the next one.
+                    for entry in batch:
+                        if not entry.future.done():
+                            entry.future.set_exception(exc)
+        finally:
+            self.runtime._worker_exited(self, reason)
+
+    def _refresh_replica(self) -> None:
+        generation, directory = self.runtime._published
+        if generation != self.replica_generation:
+            self.replica = Engine.restore(directory, self.runtime.primary.model)
+            self.replica_generation = generation
+
+
+class ServingRuntime:
+    """Concurrent query/ingest serving over one :class:`~repro.api.Engine`.
+
+    The wrapped ``engine`` becomes the runtime's **primary**: only the
+    ingest thread mutates it, and queries are served from bit-stable
+    replica snapshots — callers must stop driving it directly.  Use as a
+    context manager, or call :meth:`start` / :meth:`shutdown` explicitly.
+
+    >>> runtime = ServingRuntime(engine, ServerConfig(num_workers=4))
+    >>> with runtime:
+    ...     runtime.attach_stream("trajectories.jsonl")
+    ...     response = runtime.query(QueryRequest(queries=vectors, k=5))
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ServerConfig | None = None,
+        *,
+        hooks: ServerHooks | None = None,
+        clock: Clock | None = None,
+        replica_dir: str | Path | None = None,
+    ) -> None:
+        self.primary = engine
+        self.config = config or ServerConfig()
+        self._hooks = hooks or ServerHooks()
+        self._clock = clock if clock is not None else SystemClock()
+        self._queue: queue.Queue = queue.Queue()
+        self._aggregator = BatchAggregator(
+            self._enqueue_batch,
+            max_batch=self.config.max_batch,
+            linger=self.config.linger,
+            clock=self._clock,
+        )
+        self._encode_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition(self._state_lock)
+        self._workers: list[_QueryWorker] = []
+        self._next_worker_id = 0
+        self._started = False
+        self._closed = False
+        self._poisoned = False
+        # Replica publication.
+        self._replica_tmp: TemporaryDirectory | None = None
+        if replica_dir is None:
+            self._replica_tmp = TemporaryDirectory(prefix="repro-server-replicas-")
+            replica_dir = self._replica_tmp.name
+        self._replica_root = Path(replica_dir)
+        self._published: tuple[int, Path] | None = None
+        self._generation = 0
+        # Ingestion.
+        self._ingest_lock = threading.Lock()
+        self._ingest_queue: deque = deque()
+        self._ingest_wake = self._clock.make_event()
+        self._stop_ingest = False
+        self._ingester: threading.Thread | None = None
+        self._reader: TrajectoryStreamReader | None = None
+        self._stream_buffer: list = []
+        self._stream_base_state: dict | None = None
+        self._groups_since_publish = 0
+        self._publishes_since_checkpoint = 0
+        self._ingested_records = 0
+        self._ingested_waves = 0
+        self._checkpointer = (
+            Checkpointer(self.config.checkpoint_dir)
+            if self.config.checkpoint_dir is not None
+            else None
+        )
+        # Counters.
+        self._queries = 0
+        self._batches = 0
+        self._worker_deaths = 0
+        self._respawns = 0
+        self._publishes = 0
+        self._checkpoints = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServingRuntime":
+        """Publish the initial generation and start every thread (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosed("this runtime has been shut down")
+            if self._started:
+                return self
+            self._started = True
+        with self._ingest_lock:
+            self._publish_locked()
+        self._aggregator.start()
+        with self._state_lock:
+            for _ in range(self.config.num_workers):
+                self._spawn_worker_locked()
+        self._ingester = threading.Thread(
+            target=self._ingest_loop, name="repro-server-ingester", daemon=True
+        )
+        self._ingester.start()
+        return self
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the runtime; with ``drain`` (default) no accepted work is lost.
+
+        Order matters: close the aggregator (flushing buffered requests to
+        the workers), wait until every accepted query future is resolved,
+        stop the workers, stop the ingest thread, ingest any remaining
+        stream records and buffered partial group, and commit a final
+        checkpoint when checkpointing is configured.  ``drain=False`` skips
+        the waiting and the final ingest flush (in-flight work is abandoned
+        best-effort; accepted futures may still resolve).
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        self._aggregator.close()
+        if drain:
+            with self._inflight_cond:
+                self._inflight_cond.wait_for(lambda: self._inflight == 0, timeout)
+        for _ in workers:
+            self._queue.put(_STOP)
+        for worker in workers:
+            worker.join()
+        self._stop_ingest = True
+        self._ingest_wake.set()
+        if self._ingester is not None:
+            self._ingester.join()
+            self._ingester = None
+        if drain and self._started:
+            with self._ingest_lock:
+                self._drain_ingest_locked(force_partial=True)
+                if self._groups_since_publish or self._checkpointer is not None:
+                    self._publish_locked(force_checkpoint=self._checkpointer is not None)
+        if self._replica_tmp is not None:
+            self._replica_tmp.cleanup()
+            self._replica_tmp = None
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir: str | Path,
+        encoder,
+        *,
+        config: ServerConfig | None = None,
+        engine_config=None,
+        stream_path: str | Path | None = None,
+        hooks: ServerHooks | None = None,
+        clock: Clock | None = None,
+    ) -> "ServingRuntime":
+        """Rebuild a runtime from its last committed checkpoint (lossless restart).
+
+        The primary engine is restored from the checkpoint snapshot and the
+        stream reader (when ``stream_path`` is given) is repositioned at the
+        checkpointed byte offset, so records that arrived after the crash —
+        and records consumed but not yet checkpointed — are (re-)ingested in
+        the same deterministic groups the uninterrupted run would have used.
+        """
+        engine, manifest = Checkpointer.restore_engine(
+            checkpoint_dir, encoder, engine_config=engine_config
+        )
+        config = (config or ServerConfig()).variant(checkpoint_dir=checkpoint_dir)
+        runtime = cls(engine, config, hooks=hooks, clock=clock)
+        runtime._generation = int(manifest["generation"])
+        runtime._ingested_records = int(manifest.get("ingested_records", 0))
+        if stream_path is not None:
+            runtime.attach_stream(stream_path, resume_state=manifest.get("stream"))
+        return runtime
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def generation(self) -> int:
+        """The replica generation currently served to query workers."""
+        published = self._published
+        return published[0] if published is not None else 0
+
+    def stats(self) -> dict:
+        """A point-in-time counters snapshot (queries, batches, faults, …)."""
+        aggregator = self._aggregator.stats
+        with self._state_lock:
+            snapshot = {
+                "queries": self._queries,
+                "batches": self._batches,
+                "mean_occupancy": aggregator["mean_occupancy"],
+                "pending": self._aggregator.pending,
+                "queue_depth": self._queue.qsize(),
+                "inflight": self._inflight,
+                "workers_alive": len(self._workers),
+                "worker_deaths": self._worker_deaths,
+                "respawns": self._respawns,
+                "publishes": self._publishes,
+                "checkpoints": self._checkpoints,
+                "generation": self.generation,
+                "ingested_records": self._ingested_records,
+                "ingested_waves": self._ingested_waves,
+                "closed": self._closed,
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Query path
+    # ------------------------------------------------------------------ #
+    def submit(self, request: "QueryRequest | np.ndarray") -> Future:
+        """Enqueue one query; returns the future its response resolves on."""
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest(queries=request)
+        with self._state_lock:
+            if self._closed or self._poisoned or not self._started:
+                raise ServerClosed(
+                    "the runtime is not accepting queries "
+                    "(not started, shut down, or all workers lost)"
+                )
+            self._inflight += 1
+        try:
+            future = self._aggregator.submit(request)
+        except BaseException:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+            raise
+        future.add_done_callback(self._request_done)
+        return future
+
+    def query(self, request: "QueryRequest | np.ndarray", timeout: float | None = None):
+        """Blocking :meth:`submit` — the drop-in for :meth:`Engine.query`."""
+        return self.submit(request).result(timeout)
+
+    def _request_done(self, _future: Future) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _enqueue_batch(self, batch: list[PendingQuery]) -> None:
+        if self._poisoned:
+            for entry in batch:
+                entry.future.set_exception(
+                    ServerClosed("all query workers died; the runtime is poisoned")
+                )
+            return
+        self._queue.put(batch)
+
+    def _execute_batch(self, batch: list[PendingQuery], replica: Engine) -> None:
+        """Encode (per request, bit-identically) and answer one batch."""
+        ready: list[tuple[PendingQuery, QueryRequest]] = []
+        for entry in batch:
+            try:
+                request = entry.request
+                if not isinstance(request.queries, np.ndarray):
+                    # Same arithmetic as Engine.query: this request's
+                    # trajectories, alone, through the bucketed encoder.
+                    with self._encode_lock:
+                        vectors = self.primary.encode(list(request.queries))
+                    request = QueryRequest(queries=vectors, k=request.k)
+                ready.append((entry, request))
+            except Exception as exc:
+                # One poisoned request must not fail its batch-mates.
+                entry.future.set_exception(exc)
+        if not ready:
+            return
+        responses = replica.query_many(
+            [request for _, request in ready], coalesce=self.config.coalesce
+        )
+        for (entry, _), response in zip(ready, responses):
+            entry.future.set_result(response)
+        with self._state_lock:
+            self._queries += len(ready)
+            self._batches += 1
+
+    # ------------------------------------------------------------------ #
+    # Worker supervision
+    # ------------------------------------------------------------------ #
+    def _spawn_worker_locked(self) -> None:
+        worker = _QueryWorker(self, self._next_worker_id)
+        self._next_worker_id += 1
+        self._workers.append(worker)
+        worker.start()
+
+    def _worker_exited(self, worker: _QueryWorker, reason: str) -> None:
+        poison = False
+        with self._state_lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+            if reason == "killed":
+                self._worker_deaths += 1
+                if not self._closed:
+                    if self._respawns < self.config.max_worker_respawns:
+                        self._respawns += 1
+                        self._spawn_worker_locked()
+                    elif not self._workers:
+                        self._poisoned = True
+                        poison = True
+        self._hooks.on_worker_exit(worker.worker_id, reason)
+        if poison:
+            # Nobody is left to serve: fail queued batches instead of
+            # hanging their callers.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    continue
+                for entry in item:
+                    if not entry.future.done():
+                        entry.future.set_exception(
+                            ServerClosed("all query workers died; the runtime is poisoned")
+                        )
+
+    # ------------------------------------------------------------------ #
+    # Ingest path
+    # ------------------------------------------------------------------ #
+    def attach_stream(
+        self, path: str | Path, *, resume_state: dict | None = None
+    ) -> TrajectoryStreamReader:
+        """Tail ``path`` (a trajectories JSONL); returns the reader used."""
+        reader = TrajectoryStreamReader(path)
+        if resume_state:
+            reader.seek(**resume_state)
+        with self._ingest_lock:
+            self._reader = reader
+            self._stream_buffer = []
+            self._stream_base_state = reader.state
+        self._ingest_wake.set()
+        return reader
+
+    def submit_ingest(self, trajectories: Sequence) -> int:
+        """Queue one wave for the background ingest thread; returns its size."""
+        wave = list(trajectories)
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosed("the runtime is not accepting ingests")
+        if wave:
+            self._ingest_queue.append(wave)
+            self._ingest_wake.set()
+        return len(wave)
+
+    def ingest(self, trajectories: Iterable) -> int:
+        """Synchronous ingest of one wave into the primary (publishes if due)."""
+        wave = list(trajectories)
+        if not wave:
+            return 0
+        with self._ingest_lock:
+            self._ingest_wave_locked(wave)
+            self._maybe_publish_locked()
+        return len(wave)
+
+    def pump(self) -> dict:
+        """Run one ingest cycle synchronously (the test-kit's deterministic lever).
+
+        Drains queued waves, polls the attached stream into full groups,
+        and publishes/checkpoints when due — exactly what the background
+        thread does once per ``poll_interval``.  Returns what happened.
+        """
+        with self._ingest_lock:
+            waves = records = 0
+            while True:
+                try:
+                    wave = self._ingest_queue.popleft()
+                except IndexError:
+                    break
+                self._ingest_wave_locked(wave)
+                waves += 1
+            records = self._poll_stream_locked()
+            published = self._maybe_publish_locked()
+        return {"waves": waves, "stream_records": records, "published": published}
+
+    def flush_ingest(self) -> dict:
+        """Like :meth:`pump`, but also force the partial stream group through
+        and publish unconditionally (plus checkpoint when configured)."""
+        with self._ingest_lock:
+            result = self._drain_ingest_locked(force_partial=True)
+            self._publish_locked(force_checkpoint=self._checkpointer is not None)
+        return result
+
+    def _ingest_loop(self) -> None:
+        while True:
+            self._clock.wait(self._ingest_wake, timeout=self.config.poll_interval)
+            self._ingest_wake.clear()
+            if self._stop_ingest:
+                return
+            self.pump()
+
+    def _ingest_wave_locked(self, wave: list) -> None:
+        with self._encode_lock:
+            self.primary.ingest(wave)
+        self._ingested_waves += 1
+        self._groups_since_publish += 1
+
+    def _poll_stream_locked(self) -> int:
+        """Pull full deterministic groups off the stream; returns records ingested."""
+        if self._reader is None:
+            return 0
+        group_size = self.config.ingest_group_size
+        ingested = 0
+        while True:
+            if not self._stream_buffer:
+                # Only boundary offsets are checkpointable: remember the
+                # reader position *before* any buffered records.
+                self._stream_base_state = self._reader.state
+            need = group_size - len(self._stream_buffer)
+            self._stream_buffer.extend(self._reader.poll(max_records=need))
+            if len(self._stream_buffer) < group_size:
+                return ingested
+            group, self._stream_buffer = self._stream_buffer, []
+            self._ingest_group_locked(group)
+            ingested += len(group)
+
+    def _ingest_group_locked(self, group: list) -> None:
+        with self._encode_lock:
+            self.primary.ingest(group)
+        self._ingested_records += len(group)
+        self._groups_since_publish += 1
+
+    def _drain_ingest_locked(self, *, force_partial: bool) -> dict:
+        waves = 0
+        while True:
+            try:
+                wave = self._ingest_queue.popleft()
+            except IndexError:
+                break
+            self._ingest_wave_locked(wave)
+            waves += 1
+        records = self._poll_stream_locked()
+        if force_partial and self._stream_buffer:
+            group, self._stream_buffer = self._stream_buffer, []
+            self._ingest_group_locked(group)
+            records += len(group)
+            self._stream_base_state = self._reader.state
+        return {"waves": waves, "stream_records": records, "published": False}
+
+    # ------------------------------------------------------------------ #
+    # Publication + checkpointing
+    # ------------------------------------------------------------------ #
+    def _maybe_publish_locked(self) -> bool:
+        if self._groups_since_publish < self.config.publish_every_groups:
+            return False
+        self._publish_locked()
+        return True
+
+    def _publish_locked(self, *, force_checkpoint: bool = False) -> None:
+        """Snapshot the primary and atomically publish a new replica generation."""
+        if self.config.compact_min_tombstones > 0:
+            self.primary.compact(min_tombstones=self.config.compact_min_tombstones)
+        self._generation += 1
+        directory = self._replica_root / f"gen_{self._generation:06d}"
+        self.primary.snapshot(directory)
+        self._published = (self._generation, directory)
+        self._groups_since_publish = 0
+        self._publishes += 1
+        self._publishes_since_checkpoint += 1
+        self._hooks.on_publish(self._generation, len(self.primary))
+        if self._checkpointer is not None and (
+            force_checkpoint
+            or self._publishes_since_checkpoint > self.config.checkpoint_every_publishes
+        ):
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        info = self._checkpointer.save(
+            self.primary,
+            generation=self._generation,
+            stream_state=self._stream_base_state,
+            ingested_records=self._ingested_records,
+        )
+        self._publishes_since_checkpoint = 0
+        self._checkpoints += 1
+        self._hooks.on_checkpoint(info.path, info.generation)

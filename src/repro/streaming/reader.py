@@ -63,6 +63,41 @@ class TrajectoryStreamReader:
         """Number of non-blank records decoded so far."""
         return self._records_read
 
+    @property
+    def line_number(self) -> int:
+        """Number of complete lines consumed so far (blank lines included)."""
+        return self._line_number
+
+    @property
+    def state(self) -> dict:
+        """The resumable read position, as checkpointed by the serving runtime.
+
+        ``offset`` is the byte the next poll seeks to; ``line_number`` and
+        ``records_read`` restore the reader's error-message numbering and
+        counters.  Feed the dict back through :meth:`seek` (possibly in a
+        different process) and polling continues exactly where it left off.
+        """
+        return {
+            "offset": self._offset,
+            "line_number": self._line_number,
+            "records_read": self._records_read,
+        }
+
+    def seek(self, offset: int, *, line_number: int = 0, records_read: int = 0) -> None:
+        """Reposition the reader (crash-restart resumption from a checkpoint).
+
+        ``offset`` must be a byte position previously reported by
+        :attr:`offset`/:attr:`state` — i.e. a record boundary; seeking into
+        the middle of a line would desynchronise the JSONL framing.  The
+        caller owns that guarantee (checkpoints only ever record boundary
+        offsets).
+        """
+        if offset < 0 or line_number < 0 or records_read < 0:
+            raise ValueError("reader state fields must be non-negative")
+        self._offset = int(offset)
+        self._line_number = int(line_number)
+        self._records_read = int(records_read)
+
     def poll(self, max_records: int | None = None) -> list[Trajectory]:
         """Decode records appended since the last poll (at most ``max_records``).
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Iterable
@@ -50,33 +51,45 @@ DEFAULT_QUERY_CACHE_SIZE = 128
 
 
 class _LRUCache:
-    """A tiny ordered-dict LRU for query results."""
+    """A tiny ordered-dict LRU for query results.
+
+    Thread-safe: the serving runtime hits one engine's cache from many
+    worker threads at once, and even a *read* mutates an LRU
+    (``move_to_end`` reorders the dict), so every operation — including the
+    hit/miss counters, which lose increments under a data race — takes the
+    internal lock.  Entries are immutable result objects shared by
+    reference, so the lock never guards more than dict bookkeeping.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
         self._entries: OrderedDict[tuple, SearchResult] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple) -> SearchResult | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, value: SearchResult) -> None:
-        if self.capacity < 1:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if self.capacity < 1:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
 
 class IngestService:

@@ -1,7 +1,16 @@
-"""Small shared utilities: seeding, timing and lightweight logging."""
+"""Small shared utilities: seeding, timing, clocks and lightweight logging."""
 
+from repro.utils.clock import Clock, SystemClock, VirtualClock
 from repro.utils.seeding import get_rng, seed_everything
 from repro.utils.timer import Timer
 from repro.utils.logging import get_logger
 
-__all__ = ["seed_everything", "get_rng", "Timer", "get_logger"]
+__all__ = [
+    "seed_everything",
+    "get_rng",
+    "Timer",
+    "get_logger",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+]

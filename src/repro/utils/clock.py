@@ -1,0 +1,167 @@
+"""Injectable time: the clock abstraction behind the serving runtime.
+
+Concurrency code that sleeps is concurrency code that cannot be tested
+deterministically — a timeout-flushed batch aggregator driven by
+``time.monotonic()`` forces its tests to race real wall-clock timers and
+turn flaky under load.  Everything in :mod:`repro.server` therefore takes a
+*clock object* instead of calling :mod:`time` directly:
+
+* :class:`SystemClock` is the production implementation —
+  ``time.monotonic()`` plus plain :class:`threading.Event` waits;
+* :class:`VirtualClock` is the test implementation — time only moves when
+  the test calls :meth:`VirtualClock.advance`, and every waiter wakes
+  exactly when virtual time crosses its deadline (or its event is set),
+  with **no real sleeping anywhere**.
+
+The one subtlety is waking waiters: a waiter blocked on a plain
+:class:`threading.Event` cannot be woken by ``advance()``.  Clocks
+therefore mint their own event objects (:meth:`Clock.make_event`) — the
+system clock hands out real events, the virtual clock hands out condition
+backed events that share the clock's internal lock, so ``set()`` and
+``advance()`` both wake the same waiters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class EventLike(Protocol):
+    """The subset of :class:`threading.Event` the serving runtime uses."""
+
+    def set(self) -> None: ...
+
+    def clear(self) -> None: ...
+
+    def is_set(self) -> bool: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Monotonic time plus interruptible waiting.
+
+    ``wait(event, timeout)`` blocks until ``event`` is set or ``timeout``
+    (clock) seconds elapse, returning ``event.is_set()`` — exactly the
+    :meth:`threading.Event.wait` contract, but routed through the clock so a
+    virtual implementation can satisfy it without real sleeping.  ``event``
+    must have been minted by this clock's :meth:`make_event`.
+    """
+
+    def monotonic(self) -> float: ...
+
+    def make_event(self) -> EventLike: ...
+
+    def wait(self, event: EventLike, timeout: float | None = None) -> bool: ...
+
+
+class SystemClock:
+    """Real wall-clock time (the production default)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def make_event(self) -> threading.Event:
+        return threading.Event()
+
+    def wait(self, event: threading.Event, timeout: float | None = None) -> bool:
+        return event.wait(timeout)
+
+
+class _ConditionEvent:
+    """An event whose waiters are woken through a shared condition.
+
+    Minted by :meth:`VirtualClock.make_event`; sharing the clock's condition
+    means :meth:`VirtualClock.advance` and :meth:`set` wake the same waiters.
+    """
+
+    def __init__(self, condition: threading.Condition) -> None:
+        self._condition = condition
+        self._flag = False
+
+    def set(self) -> None:
+        with self._condition:
+            self._flag = True
+            self._condition.notify_all()
+
+    def clear(self) -> None:
+        with self._condition:
+            self._flag = False
+
+    def is_set(self) -> bool:
+        with self._condition:
+            return self._flag
+
+
+class VirtualClock:
+    """A clock that only moves when the test moves it.
+
+    ``wait`` blocks the calling thread on a condition variable until either
+    its event is set (by any thread) or :meth:`advance` pushes virtual time
+    past the waiter's deadline.  No call ever sleeps on real time, so tests
+    built on this clock are exactly as fast and as deterministic as their
+    own ``advance`` schedule.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._condition = threading.Condition()
+        self._now = float(start)
+        self._waiters = 0
+
+    def monotonic(self) -> float:
+        with self._condition:
+            return self._now
+
+    def make_event(self) -> _ConditionEvent:
+        return _ConditionEvent(self._condition)
+
+    @property
+    def waiters(self) -> int:
+        """Threads currently blocked in :meth:`wait` (test synchronisation aid)."""
+        with self._condition:
+            return self._waiters
+
+    def wait_for_waiters(self, count: int, timeout: float = 5.0) -> int:
+        """Block until at least ``count`` threads are parked inside :meth:`wait`.
+
+        The deterministic rendezvous of the test-kit: advance virtual time
+        only once the thread under test is provably waiting on it, so the
+        advance can never race the thread into missing its own deadline.
+        ``timeout`` is *real* seconds and only bounds a failing test.
+        """
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while self._waiters < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"{count} clock waiter(s) did not arrive within {timeout}s "
+                        f"(currently {self._waiters})"
+                    )
+                self._condition.wait(remaining)
+            return self._waiters
+
+    def advance(self, seconds: float) -> float:
+        """Move virtual time forward and wake every waiter; returns the new now."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._condition:
+            self._now += float(seconds)
+            self._condition.notify_all()
+            return self._now
+
+    def wait(self, event: _ConditionEvent, timeout: float | None = None) -> bool:
+        if not isinstance(event, _ConditionEvent) or event._condition is not self._condition:
+            raise ValueError("event was not created by this VirtualClock's make_event()")
+        with self._condition:
+            deadline = None if timeout is None else self._now + float(timeout)
+            self._waiters += 1
+            self._condition.notify_all()  # unblock wait_for_waiters rendezvous
+            try:
+                while not event._flag and (deadline is None or self._now < deadline):
+                    self._condition.wait()
+            finally:
+                self._waiters -= 1
+            return event._flag

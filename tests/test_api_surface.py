@@ -1,8 +1,10 @@
-"""Public-API surface lock for `repro.api`.
+"""Public-API surface lock for `repro.api` and `repro.server`.
 
 ``tests/data/api_surface.json`` is the checked-in snapshot of the facade's
-contract: the exported names (``repro.api.__all__``), every public
-dataclass's field list, and the registered built-in backends.  This test
+contract: the exported names (``repro.api.__all__`` and
+``repro.server.__all__``), every public dataclass's field list (including
+``ServerConfig``'s knobs), the public `Engine`/`ServingRuntime` methods,
+and the registered built-in backends.  This test
 diffs the live surface against the snapshot, so an accidental rename, field
 removal or export drop fails CI with an explicit diff instead of silently
 breaking downstream users.
@@ -22,6 +24,7 @@ import json
 from pathlib import Path
 
 import repro.api as api
+import repro.server as server
 
 SNAPSHOT_PATH = Path(__file__).parent / "data" / "api_surface.json"
 
@@ -55,6 +58,18 @@ def current_surface() -> dict:
         for name in dir(api.Engine)
         if not name.startswith("_") and callable(getattr(api.Engine, name, None))
     )
+    surface["server"] = {
+        "__all__": sorted(server.__all__),
+        "server_config_fields": [
+            field.name for field in dataclasses.fields(server.ServerConfig)
+        ],
+        "runtime_methods": sorted(
+            name
+            for name in dir(server.ServingRuntime)
+            if not name.startswith("_")
+            and callable(getattr(server.ServingRuntime, name, None))
+        ),
+    }
     return surface
 
 

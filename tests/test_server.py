@@ -1,0 +1,557 @@
+"""Tests for the serving runtime — deterministic concurrency, no sleeps.
+
+Built entirely on ``tests/serving_runtime_kit.py``: virtual time for every
+timer, synchronous :meth:`ServingRuntime.pump` stepping for ingest, armed
+one-shot faults for crashes.  The acceptance pins:
+
+* batched concurrent responses are **bitwise identical** to sequential
+  :meth:`Engine.query` (per backend, both query flavours);
+* every batch executes against exactly one published replica generation;
+* a kill + restart from the last checkpoint is bit-identical to the
+  uninterrupted run (hypothesis, over kill points — with an encoder whose
+  output depends on batch composition, so replay grouping is actually
+  proven);
+* shutdown drains accepted work; faults stay contained to their blast
+  radius (one request, one worker — never the runtime).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine, QueryRequest
+from repro.server import (
+    BatchAggregator,
+    Checkpointer,
+    ServerClosed,
+    ServerConfig,
+    ServingRuntime,
+)
+from repro.streaming.reader import TrajectoryStreamReader
+from repro.streaming.service import _LRUCache
+from serving_runtime_kit import (
+    FaultInjector,
+    FlakyEncoder,
+    HookRecorder,
+    VirtualClock,
+    assert_responses_identical,
+    batch_sensitive_encode,
+    engine_fingerprint,
+    id_encode,
+    make_engine,
+    make_runtime,
+    make_trajectory,
+    probe_queries,
+    seed_engine,
+    sequential_reference,
+    write_stream,
+)
+
+# Server tests involve real threads: cap each test well below the suite-wide
+# CI timeout so a deadlock fails fast with a stack dump (satellite of PR 6).
+if importlib.util.find_spec("pytest_timeout") is not None:
+    pytestmark = [pytest.mark.timeout(120, method="thread")]
+
+
+# ---------------------------------------------------------------------- #
+# Virtual clock
+# ---------------------------------------------------------------------- #
+class TestVirtualClock:
+    def test_advance_fires_deadline_exactly(self):
+        clock = VirtualClock()
+        event = clock.make_event()
+        observed = []
+
+        def waiter():
+            observed.append(clock.wait(event, timeout=1.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        clock.wait_for_waiters(1)
+        clock.advance(0.999)
+        assert thread.is_alive()  # deterministic: now < deadline, still parked
+        clock.advance(0.001)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert observed == [False]  # timed out, event never set
+
+    def test_set_wakes_waiter_without_time_moving(self):
+        clock = VirtualClock()
+        event = clock.make_event()
+        results = []
+        thread = threading.Thread(target=lambda: results.append(clock.wait(event)))
+        thread.start()
+        clock.wait_for_waiters(1)
+        event.set()
+        thread.join(timeout=5)
+        assert results == [True]
+        assert clock.monotonic() == 0.0
+
+    def test_foreign_event_is_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError, match="make_event"):
+            clock.wait(VirtualClock().make_event(), timeout=0.1)
+
+    def test_wait_for_waiters_times_out(self):
+        with pytest.raises(TimeoutError):
+            VirtualClock().wait_for_waiters(1, timeout=0.05)
+
+
+# ---------------------------------------------------------------------- #
+# Batch aggregator
+# ---------------------------------------------------------------------- #
+class TestBatchAggregator:
+    def test_size_trigger_releases_inline(self):
+        batches = []
+        aggregator = BatchAggregator(batches.append, max_batch=3, linger=60.0)
+        futures = [aggregator.submit(QueryRequest(queries=probe_queries(1))) for _ in range(3)]
+        assert len(batches) == 1 and len(batches[0]) == 3
+        assert [entry.future for entry in batches[0]] == futures
+        assert aggregator.pending == 0
+
+    def test_linger_trigger_under_virtual_time(self):
+        clock = VirtualClock()
+        batches = []
+        delivered = threading.Event()
+
+        def sink(batch):
+            batches.append(batch)
+            delivered.set()
+
+        aggregator = BatchAggregator(sink, max_batch=10, linger=1.0, clock=clock)
+        aggregator.start()
+        aggregator.submit(QueryRequest(queries=probe_queries(1)))  # deadline t=1.0
+        clock.advance(0.5)
+        aggregator.submit(QueryRequest(queries=probe_queries(1)))
+        clock.advance(0.5)  # exactly the first request's deadline
+        assert delivered.wait(timeout=5)
+        # One batch holding BOTH requests: had the first flushed early, the
+        # second would have landed in a batch of its own.
+        assert [len(batch) for batch in batches] == [2]
+        aggregator.close()
+
+    def test_close_flushes_pending_and_rejects_new(self):
+        batches = []
+        aggregator = BatchAggregator(batches.append, max_batch=10, linger=60.0)
+        aggregator.start()
+        future = aggregator.submit(QueryRequest(queries=probe_queries(1)))
+        aggregator.close()
+        assert [len(batch) for batch in batches] == [1]
+        assert batches[0][0].future is future
+        with pytest.raises(ServerClosed):
+            aggregator.submit(QueryRequest(queries=probe_queries(1)))
+
+    def test_stats_mean_occupancy(self):
+        aggregator = BatchAggregator(lambda batch: None, max_batch=2, linger=60.0)
+        for _ in range(4):
+            aggregator.submit(QueryRequest(queries=probe_queries(1)))
+        assert aggregator.stats == {"batches": 2, "requests": 4, "mean_occupancy": 2.0}
+
+
+# ---------------------------------------------------------------------- #
+# Engine.query_many and Engine.replicate
+# ---------------------------------------------------------------------- #
+class TestQueryMany:
+    @pytest.fixture()
+    def engine(self):
+        engine = make_engine()
+        seed_engine(engine, 24)
+        return engine
+
+    def test_aligned_matches_sequential_bitwise(self, engine):
+        requests = [QueryRequest(queries=probe_queries(2, seed=s), k=3) for s in range(5)]
+        expected = sequential_reference(engine, requests)
+        for actual, reference in zip(engine.query_many(requests), expected):
+            assert_responses_identical(actual, reference)
+
+    def test_fused_same_ids_close_distances(self, engine):
+        requests = [QueryRequest(queries=probe_queries(2, seed=s), k=3) for s in range(5)]
+        expected = sequential_reference(engine, requests)
+        for actual, reference in zip(engine.query_many(requests, coalesce="fused"), expected):
+            np.testing.assert_array_equal(actual.ids, reference.ids)
+            np.testing.assert_allclose(actual.distances, reference.distances, rtol=1e-5)
+
+    def test_fused_serves_and_fills_the_cache(self, engine):
+        request = QueryRequest(queries=probe_queries(2), k=3)
+        first = engine.query(request)
+        assert engine.query_many([request], coalesce="fused")[0] is first  # cache hit
+        fresh = QueryRequest(queries=probe_queries(2, seed=99), k=3)
+        fused = engine.query_many([fresh], coalesce="fused")[0]
+        assert engine.query(fresh) is fused  # fused miss populated the cache
+
+    def test_unknown_coalesce_mode_raises(self, engine):
+        with pytest.raises(ValueError, match="coalesce"):
+            engine.query_many([], coalesce="sideways")
+
+    def test_replicate_is_bit_stable_and_isolated(self, engine):
+        replica = engine.replicate()
+        request = QueryRequest(queries=probe_queries(3), k=4)
+        assert_responses_identical(replica.query(request), engine.query(request))
+        engine.ingest([make_trajectory(777)])  # later primary growth...
+        assert len(replica) == len(engine) - 1  # ...never leaks into the replica
+
+
+# ---------------------------------------------------------------------- #
+# Batched-vs-sequential bit identity (the tentpole pin)
+# ---------------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["bruteforce", "chunked", "sharded", "ivf", "ivfpq"])
+    def test_batched_concurrent_equals_sequential(self, backend):
+        engine = make_engine(backend=backend)
+        seed_engine(engine, 30)
+        requests = [QueryRequest(queries=probe_queries(2, seed=s), k=4) for s in range(8)]
+        requests += [QueryRequest(queries=[make_trajectory(1000 + s)], k=3) for s in range(4)]
+        with make_runtime(engine, max_batch=4, num_workers=2) as runtime:
+            futures = [runtime.submit(request) for request in requests]
+            responses = [future.result(timeout=30) for future in futures]
+        # The primary never mutated: it IS the sequential ground truth.
+        for actual, reference in zip(responses, sequential_reference(engine, requests)):
+            assert_responses_identical(actual, reference)
+
+    def test_threaded_callers_are_bit_identical(self):
+        engine = make_engine()
+        seed_engine(engine, 30)
+        requests = [QueryRequest(queries=probe_queries(1, seed=s), k=5) for s in range(16)]
+        with make_runtime(engine, max_batch=4, num_workers=3) as runtime:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                responses = list(pool.map(lambda r: runtime.query(r, timeout=30), requests))
+        for actual, reference in zip(responses, sequential_reference(engine, requests)):
+            assert_responses_identical(actual, reference)
+
+    def test_fused_runtime_same_ids_close_distances(self):
+        engine = make_engine()
+        seed_engine(engine, 30)
+        requests = [QueryRequest(queries=probe_queries(2, seed=s), k=4) for s in range(8)]
+        with make_runtime(engine, coalesce="fused", max_batch=4) as runtime:
+            futures = [runtime.submit(request) for request in requests]
+            responses = [future.result(timeout=30) for future in futures]
+        for actual, reference in zip(responses, sequential_reference(engine, requests)):
+            np.testing.assert_array_equal(actual.ids, reference.ids)
+            np.testing.assert_allclose(actual.distances, reference.distances, rtol=1e-5)
+
+
+# ---------------------------------------------------------------------- #
+# Generation consistency between replicas and the primary
+# ---------------------------------------------------------------------- #
+class TestGenerationConsistency:
+    def test_batches_run_on_one_published_generation(self):
+        hooks = HookRecorder()
+        engine = make_engine()
+        seed_engine(engine, 12)
+        with make_runtime(engine, hooks=hooks, publish_every_groups=1) as runtime:
+            assert runtime.query(QueryRequest(queries=probe_queries(1), k=2))
+            runtime.ingest([make_trajectory(5000)])  # publishes generation 2
+            target = id_encode([make_trajectory(5000)])
+            response = runtime.query(QueryRequest(queries=target, k=1), timeout=30)
+            assert response.trajectory_ids.tolist() == [[5000]]
+        starts = hooks.of("batch_start")
+        dones = hooks.of("batch_done")
+        # A batch never straddles generations, and generations only advance.
+        assert [s["generation"] for s in starts] == [d["generation"] for d in dones]
+        generations = [s["generation"] for s in starts]
+        assert generations == sorted(generations)
+        assert generations[0] == 1 and generations[-1] == 2
+        publishes = [p["generation"] for p in hooks.of("publish")]
+        assert publishes[:2] == [1, 2]
+
+    def test_stream_groups_publish_new_generations(self, tmp_path):
+        hooks = HookRecorder()
+        engine = make_engine()
+        runtime = make_runtime(engine, hooks=hooks, ingest_group_size=4)
+        stream = tmp_path / "arrivals.jsonl"
+        write_stream(stream, range(10))
+        runtime.attach_stream(stream)
+        outcome = runtime.pump()  # synchronous stepping: no threads involved
+        assert outcome["stream_records"] == 8  # two full groups of 4
+        assert runtime.stats()["ingested_records"] == 8
+        assert len(engine) == 8
+        runtime.flush_ingest()  # the partial tail group of 2
+        assert len(engine) == 10
+        rows = [p["rows"] for p in hooks.of("publish")]
+        assert rows[-1] == 10 and rows == sorted(rows)
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection: worker kills, respawn, encode failures
+# ---------------------------------------------------------------------- #
+class TestWorkerFaults:
+    def test_killed_worker_loses_no_request(self):
+        faults = FaultInjector()
+        faults.arm_kill(1)
+        engine = make_engine()
+        seed_engine(engine, 20)
+        requests = [QueryRequest(queries=probe_queries(1, seed=s), k=3) for s in range(4)]
+        with make_runtime(engine, hooks=faults, max_batch=4, num_workers=2) as runtime:
+            futures = [runtime.submit(request) for request in requests]
+            responses = [future.result(timeout=30) for future in futures]
+            stats = runtime.stats()
+        for actual, reference in zip(responses, sequential_reference(engine, requests)):
+            assert_responses_identical(actual, reference)
+        assert stats["worker_deaths"] == 1 and stats["respawns"] == 1
+        assert {"killed"} <= {e["reason"] for e in faults.of("worker_exit")}
+
+    def test_respawn_exhaustion_poisons_the_runtime(self):
+        faults = FaultInjector()
+        faults.arm_kill(1)
+        engine = make_engine()
+        seed_engine(engine, 12)
+        runtime = make_runtime(
+            engine, hooks=faults, max_batch=2, num_workers=1, max_worker_respawns=0
+        )
+        with runtime:
+            futures = [
+                runtime.submit(QueryRequest(queries=probe_queries(1, seed=s), k=2))
+                for s in range(2)
+            ]
+            for future in futures:
+                with pytest.raises(ServerClosed):
+                    future.result(timeout=30)
+            with pytest.raises(ServerClosed):
+                runtime.submit(QueryRequest(queries=probe_queries(1), k=2))
+        assert faults.of("worker_exit") == [{"worker_id": 0, "reason": "killed"}]
+
+    def test_encode_failure_hits_only_its_own_request(self):
+        encoder = FlakyEncoder(poison_ids={666})
+        engine = make_engine(encoder)
+        seed_engine(engine, 12)
+        requests = [
+            QueryRequest(queries=probe_queries(1), k=3),
+            QueryRequest(queries=[make_trajectory(666)], k=3),
+            QueryRequest(queries=[make_trajectory(1003)], k=3),
+        ]
+        with make_runtime(engine, max_batch=3, num_workers=1) as runtime:
+            futures = [runtime.submit(request) for request in requests]
+            with pytest.raises(RuntimeError, match="poisoned trajectory 666"):
+                futures[1].result(timeout=30)
+            good = [futures[0].result(timeout=30), futures[2].result(timeout=30)]
+        reference = sequential_reference(engine, [requests[0], requests[2]])
+        for actual, expected in zip(good, reference):
+            assert_responses_identical(actual, expected)
+
+
+# ---------------------------------------------------------------------- #
+# Shutdown semantics
+# ---------------------------------------------------------------------- #
+class TestShutdown:
+    def test_shutdown_drains_in_flight_requests(self):
+        engine = make_engine()
+        seed_engine(engine, 16)
+        requests = [QueryRequest(queries=probe_queries(1, seed=s), k=3) for s in range(3)]
+        runtime = make_runtime(engine, max_batch=8, linger=60.0)  # timer never fires
+        runtime.start()
+        futures = [runtime.submit(request) for request in requests]
+        assert runtime.stats()["pending"] == 3  # parked in the aggregator
+        runtime.shutdown()  # close flushes the buffer; drain waits for answers
+        responses = [future.result(timeout=0) for future in futures]
+        for actual, reference in zip(responses, sequential_reference(engine, requests)):
+            assert_responses_identical(actual, reference)
+
+    def test_runtime_rejects_work_unless_started(self):
+        runtime = make_runtime()
+        with pytest.raises(ServerClosed):
+            runtime.submit(QueryRequest(queries=probe_queries(1)))
+        runtime.start()
+        runtime.shutdown()
+        with pytest.raises(ServerClosed):
+            runtime.submit(QueryRequest(queries=probe_queries(1)))
+        runtime.shutdown()  # idempotent
+
+    def test_final_flush_and_checkpoint_on_shutdown(self, tmp_path):
+        engine = make_engine()
+        runtime = make_runtime(
+            engine, ingest_group_size=4, checkpoint_dir=tmp_path / "ckpt"
+        )
+        stream = tmp_path / "arrivals.jsonl"
+        write_stream(stream, range(6))
+        with runtime:
+            runtime.attach_stream(stream)
+        # Drained shutdown ingested the full group AND the partial tail...
+        assert len(engine) == 6
+        manifest = Checkpointer.load_manifest(tmp_path / "ckpt")
+        # ...and the final checkpoint covers all six records.
+        assert manifest["ingested_records"] == 6
+        assert manifest["stream"]["records_read"] == 6
+
+
+# ---------------------------------------------------------------------- #
+# The query-cache under concurrency (the PR's latent-bug satellite)
+# ---------------------------------------------------------------------- #
+class TestCacheThreadSafety:
+    def test_lru_cache_survives_a_hammer(self):
+        cache = _LRUCache(capacity=16)
+        errors = []
+        gets_per_thread = 2000
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(gets_per_thread):
+                    key = int(rng.integers(0, 48))
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 16
+        # Counter increments are lock-protected: none may be lost to a race.
+        assert cache.hits + cache.misses == 8 * gets_per_thread
+
+    def test_engine_query_cache_is_thread_safe(self):
+        engine = make_engine()
+        seed_engine(engine, 24)
+        pool_requests = [QueryRequest(queries=probe_queries(1, seed=s), k=3) for s in range(6)]
+        reference = sequential_reference(engine, pool_requests)
+
+        def worker(seed: int):
+            rng = np.random.default_rng(seed)
+            for _ in range(50):
+                pick = int(rng.integers(0, len(pool_requests)))
+                assert_responses_identical(engine.query(pool_requests[pick]), reference[pick])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for result in [pool.submit(worker, seed) for seed in range(8)]:
+                result.result(timeout=60)
+
+
+# ---------------------------------------------------------------------- #
+# Checkpointing and crash-restart equivalence
+# ---------------------------------------------------------------------- #
+class TestCheckpointer:
+    def test_commit_is_atomic_and_pruned(self, tmp_path):
+        engine = make_engine()
+        seed_engine(engine, 8)
+        checkpointer = Checkpointer(tmp_path, keep=2)
+        for generation in (1, 2, 3):
+            info = checkpointer.save(engine, generation=generation)
+            assert info.generation == generation
+        assert not (tmp_path / "CHECKPOINT.json.tmp").exists()
+        kept = sorted(p.name for p in (tmp_path / "snapshots").iterdir())
+        assert kept == ["gen_000002", "gen_000003"]
+        manifest = Checkpointer.load_manifest(tmp_path)
+        assert manifest["generation"] == 3 and manifest["rows"] == 8
+
+    def test_missing_and_future_checkpoints_are_refused(self, tmp_path):
+        assert Checkpointer.load_manifest(tmp_path) is None
+        with pytest.raises(ValueError, match="no CHECKPOINT.json"):
+            Checkpointer.restore_engine(tmp_path, id_encode)
+        (tmp_path / "CHECKPOINT.json").write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="format v99"):
+            Checkpointer.load_manifest(tmp_path)
+
+    def test_reader_state_seek_round_trip(self, tmp_path):
+        stream = tmp_path / "arrivals.jsonl"
+        write_stream(stream, range(6))
+        reader = TrajectoryStreamReader(stream)
+        head = reader.poll(max_records=3)
+        state = reader.state
+        resumed = TrajectoryStreamReader(stream)
+        resumed.seek(**state)
+        tail = resumed.poll()
+        assert [t.trajectory_id for t in head + tail] == list(range(6))
+        assert resumed.records_read == 6
+        with pytest.raises(ValueError):
+            resumed.seek(-1)
+
+
+def _crash_restart_fingerprints(root: Path, ids, group_size, publish_every, kill_point):
+    """Fingerprints of (uninterrupted, killed-and-restored) runs over ``ids``."""
+    config = ServerConfig(
+        ingest_group_size=group_size,
+        publish_every_groups=publish_every,
+        num_workers=1,
+    )
+    # Reference: every record, one run, no crash.  Grouping depends only on
+    # record order, so feeding the stream up-front is equivalent.
+    reference_stream = root / "reference.jsonl"
+    write_stream(reference_stream, ids)
+    reference = ServingRuntime(
+        make_engine(batch_sensitive_encode),
+        config.variant(checkpoint_dir=root / "reference_ckpt"),
+        replica_dir=root / "reference_replicas",
+    )
+    reference.attach_stream(reference_stream)
+    reference.pump()
+    reference.flush_ingest()
+    expected = engine_fingerprint(reference.primary)
+
+    # Crashed run: records arrive one by one; the process dies (no shutdown,
+    # no flush) just before record ``kill_point`` arrives.
+    stream = root / "crash.jsonl"
+    checkpoint_dir = root / "crash_ckpt"
+    victim = ServingRuntime(
+        make_engine(batch_sensitive_encode),
+        config.variant(checkpoint_dir=checkpoint_dir),
+        replica_dir=root / "crash_replicas",
+    )
+    victim.attach_stream(stream)
+    victim.flush_ingest()  # the initial checkpoint a server commits on boot
+    for trajectory_id in ids[:kill_point]:
+        write_stream(stream, [trajectory_id])
+        victim.pump()
+    del victim  # the crash: nothing flushed, nothing drained
+
+    restored = ServingRuntime.restore(
+        checkpoint_dir,
+        batch_sensitive_encode,
+        config=config,
+        stream_path=stream,
+    )
+    for trajectory_id in ids[kill_point:]:
+        write_stream(stream, [trajectory_id])
+        restored.pump()
+    restored.flush_ingest()
+    actual = engine_fingerprint(restored.primary)
+    reference.shutdown()
+    restored.shutdown()
+    return expected, actual
+
+
+class TestCrashRestartEquivalence:
+    def test_kill_mid_stream_restores_bit_identically(self, tmp_path):
+        expected, actual = _crash_restart_fingerprints(
+            tmp_path, list(range(10)), group_size=3, publish_every=1, kill_point=5
+        )
+        assert actual == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_any_kill_point_restores_bit_identically(self, data):
+        count = data.draw(st.integers(min_value=3, max_value=12), label="records")
+        group_size = data.draw(st.integers(min_value=1, max_value=4), label="group_size")
+        publish_every = data.draw(st.integers(min_value=1, max_value=3), label="publish_every")
+        kill_point = data.draw(st.integers(min_value=0, max_value=count), label="kill_point")
+        with tempfile.TemporaryDirectory(prefix="repro-server-crash-") as root:
+            expected, actual = _crash_restart_fingerprints(
+                Path(root), list(range(count)), group_size, publish_every, kill_point
+            )
+        assert actual == expected
+
+    def test_restored_runtime_serves_queries(self, tmp_path):
+        engine = make_engine()
+        seed_engine(engine, 12)
+        runtime = make_runtime(engine, checkpoint_dir=tmp_path / "ckpt")
+        with runtime:
+            runtime.flush_ingest()
+        request = QueryRequest(queries=probe_queries(2), k=3)
+        expected = engine.query(request)
+        restored = ServingRuntime.restore(
+            tmp_path / "ckpt", id_encode, config=runtime.config
+        )
+        with restored:
+            assert_responses_identical(restored.query(request, timeout=30), expected)
