@@ -1,0 +1,60 @@
+"""``repro.analysis`` — AST-based invariant checking for the whole tree.
+
+The codebase runs on invariants no runtime test can fully cover: bit-stable
+results (no wall clocks or global RNG in library code), single-writer lock
+discipline in the concurrent layers, float32 hot paths, and facade-only
+construction of serving components.  This package checks them statically —
+stdlib ``ast`` only — and gates CI on zero new findings.
+
+Entry points:
+
+* ``python -m repro.analysis src/repro`` — the CLI (human or ``--format
+  json`` reports, baseline-aware, exit code 1 on new findings);
+* :func:`run_analysis` / :func:`analyze_source` — the programmatic surface
+  the repo-invariant test and the fixture tests drive;
+* ``# repro: allow[rule-id]`` — inline suppression on the offending line;
+* ``analysis_baseline.json`` — grandfathered findings, each with a reason.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.config import (
+    AnalysisConfig,
+    DeterminismConfig,
+    DtypeConfig,
+    LayeringConfig,
+    RaceConfig,
+)
+from repro.analysis.engine import (
+    AnalysisResult,
+    analyze_source,
+    iter_python_files,
+    package_relative_path,
+    run_analysis,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.report import render_human, render_json
+from repro.analysis.rules import Rule, available_rules, register_rule, rule_families
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "DeterminismConfig",
+    "DtypeConfig",
+    "Finding",
+    "LayeringConfig",
+    "RaceConfig",
+    "Rule",
+    "analyze_source",
+    "available_rules",
+    "iter_python_files",
+    "package_relative_path",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "rule_families",
+    "run_analysis",
+]

@@ -1,0 +1,96 @@
+"""Grandfathered findings: the checked-in baseline file.
+
+A baseline entry deliberately accepts one finding — a single-writer class
+that needs no lock, a float64 accumulator kept for numerical stability — so
+the analyzer can gate CI at zero *new* findings without forcing every
+legacy exception through an inline comment.  Every entry must carry a
+non-empty ``reason``: a baseline nobody can explain is just a second copy of
+the bug list.
+
+Matching is by ``(rule, path, match)`` where ``match`` is a substring of the
+finding message (empty matches any message for that rule+path).  Line
+numbers are deliberately *not* part of the key — reformatting a file must
+not resurrect grandfathered findings.
+
+Entries that no longer match any live finding are reported as *stale* so the
+baseline shrinks as the code heals instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up in the current directory by the CLI.
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, with the reason it is acceptable."""
+
+    rule: str
+    path: str
+    match: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and self.match in finding.message
+        )
+
+
+class Baseline:
+    """The set of grandfathered findings loaded from a baseline file."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()) -> None:
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+        version = int(payload.get("version", 0))
+        if version > BASELINE_VERSION:
+            raise ValueError(
+                f"{path} uses baseline format v{version}; "
+                f"this build reads up to v{BASELINE_VERSION}"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            entry = BaselineEntry(
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")),
+                match=str(raw.get("match", "")),
+                reason=str(raw.get("reason", "")).strip(),
+            )
+            if not entry.rule or not entry.path:
+                raise ValueError(f"{path}: baseline entry missing rule/path: {raw}")
+            if not entry.reason:
+                raise ValueError(
+                    f"{path}: baseline entry for {entry.rule} at {entry.path} has "
+                    "no reason — every grandfathered finding must say why"
+                )
+            entries.append(entry)
+        return cls(tuple(entries))
+
+    def is_baselined(self, finding: Finding) -> bool:
+        return any(entry.matches(finding) for entry in self.entries)
+
+    def stale_entries(self, findings: list[Finding]) -> list[BaselineEntry]:
+        """Entries matching no live finding — candidates for deletion."""
+        return [
+            entry
+            for entry in self.entries
+            if not any(entry.matches(finding) for finding in findings)
+        ]

@@ -1,0 +1,139 @@
+"""``python -m repro.analysis`` — the CI gate and the developer loop.
+
+Exit codes: ``0`` when no new (non-baselined, non-suppressed) findings,
+``1`` when the gate fails, ``2`` on usage errors.  ``--format json`` prints
+the machine report to stdout; ``--output`` additionally writes it to a file
+(the CI artifact) regardless of the chosen stdout format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import run_analysis
+from repro.analysis.report import render_human, render_json
+from repro.analysis.rules import available_rules, rule_families
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant checker: lock-discipline race lint, "
+            "determinism lint, dtype lint, layering lint."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="stdout report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding as new",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids and/or families to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule inventory and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined and inline-suppressed findings (human format)",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for family, rule_ids in rule_families().items():
+        lines.append(f"{family}:")
+        registry = available_rules()
+        for rule_id in rule_ids:
+            lines.append(f"  {rule_id:24s} {registry[rule_id].description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly like a
+        # well-behaved unix filter instead of tracebacking.
+        sys.stderr.close()
+        return 1
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None:
+            candidate = Path(DEFAULT_BASELINE_NAME)
+            baseline_path = candidate if candidate.exists() else None
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    selection = None
+    if args.rules is not None:
+        selection = [token.strip() for token in args.rules.split(",") if token.strip()]
+    try:
+        result = run_analysis(args.paths, rules=selection, baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(render_json(result))
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+    return 0 if result.ok else 1

@@ -1,0 +1,81 @@
+"""Per-module analysis context shared by every rule.
+
+One :class:`ModuleContext` is built per analyzed file: the parsed tree, raw
+source lines, the suppression map, and lazily-built derived structures
+(parent links, the imported-name table).  Rules read from it and report
+findings through it; suppressed findings are dropped at report time so no
+rule needs to know the suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+class ModuleContext:
+    """Everything a rule may want to know about one module under analysis."""
+
+    def __init__(
+        self,
+        rel_path: str,
+        source: str,
+        tree: ast.Module,
+        config: AnalysisConfig,
+    ) -> None:
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.lines: list[str] = source.splitlines()
+        self.allowed: dict[int, frozenset[str]] = parse_suppressions(source)
+        self.findings: list[Finding] = []
+        self.suppressed: list[Finding] = []
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent links for the whole tree (built on first use)."""
+        links: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                links[child] = node
+        return links
+
+    @cached_property
+    def imported_modules(self) -> frozenset[str]:
+        """Top-level module names imported anywhere (``import x``/``from x``)."""
+        names: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names.add(node.module.split(".")[0])
+        return frozenset(names)
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based physical source line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def report(self, node: ast.AST, rule: str, family: str, message: str) -> None:
+        """Record one finding at ``node``, honouring inline suppressions."""
+        line = int(getattr(node, "lineno", 1))
+        finding = Finding(
+            path=self.rel_path,
+            line=line,
+            col=int(getattr(node, "col_offset", 0)),
+            rule=rule,
+            message=message,
+        )
+        if is_suppressed(
+            self.allowed, rule, family, line, getattr(node, "end_lineno", None)
+        ):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)

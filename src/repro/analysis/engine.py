@@ -1,0 +1,170 @@
+"""The analysis engine: files → parsed modules → rules → findings.
+
+:func:`run_analysis` is the programmatic entry point (the CLI and the repo
+invariant test both sit on it); :func:`analyze_source` checks one in-memory
+snippet and is what the fixture tests drive.  Findings come back sorted by
+location so output is deterministic, and a file that fails to parse yields a
+``parse-error`` finding instead of crashing the run — an analyzer that dies
+on bad input cannot gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, select_rules
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        """Findings neither suppressed inline nor grandfathered — the CI gate."""
+        return self.findings
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def package_relative_path(path: Path, root: Path | None = None) -> str:
+    """``path`` relative to the nearest enclosing ``repro`` package directory.
+
+    Rules are scoped by package-relative module paths (``server/runtime.py``),
+    so the same config works whether the scan root is ``src/repro``, ``src``,
+    or the repository root.  Files outside any ``repro`` directory fall back
+    to being relative to ``root`` (or their own name).
+    """
+    resolved = path.resolve()
+    for ancestor in resolved.parents:
+        if ancestor.name == "repro":
+            return resolved.relative_to(ancestor).as_posix()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    seen: set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            seen.update(p.resolve() for p in sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            seen.add(entry.resolve())
+        else:
+            raise FileNotFoundError(f"{entry} is neither a directory nor a .py file")
+    return sorted(seen)
+
+
+def analyze_source(
+    source: str,
+    rel_path: str,
+    *,
+    config: AnalysisConfig | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the (selected) rules over one in-memory module.
+
+    ``rel_path`` is the package-relative path the module pretends to live at
+    (e.g. ``"server/runtime.py"``) — it decides which path-scoped rules
+    apply.  Returns the unsuppressed findings, sorted by location.
+    """
+    config = config or AnalysisConfig()
+    rule_classes = select_rules(None if rules is None else list(rules))
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        return [
+            Finding(
+                path=rel_path,
+                line=int(getattr(exc, "lineno", None) or 1),
+                col=int(getattr(exc, "offset", None) or 0),
+                rule=PARSE_ERROR_RULE,
+                message=f"could not parse module: {exc}",
+            )
+        ]
+    ctx = ModuleContext(rel_path, source, tree, config)
+    _run_rules(ctx, rule_classes)
+    return sorted(ctx.findings)
+
+
+def _run_rules(ctx: ModuleContext, rule_classes: Sequence[Type[Rule]]) -> None:
+    for rule_class in rule_classes:
+        rule = rule_class(ctx)
+        if rule.applies_to(ctx):
+            rule.run()
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    config: AnalysisConfig | None = None,
+    rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Analyze every module under ``paths`` and apply the baseline.
+
+    Returns an :class:`AnalysisResult` whose ``findings`` are the *new*
+    (non-baselined, non-suppressed) violations — the list that must be empty
+    for CI to pass.
+    """
+    config = config or AnalysisConfig()
+    rule_classes = select_rules(None if rules is None else list(rules))
+    result = AnalysisResult()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        rel_path = package_relative_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            all_findings.append(
+                Finding(
+                    path=rel_path,
+                    line=int(getattr(exc, "lineno", None) or 1),
+                    col=int(getattr(exc, "offset", None) or 0),
+                    rule=PARSE_ERROR_RULE,
+                    message=f"could not parse module: {exc}",
+                )
+            )
+            result.files_scanned += 1
+            continue
+        ctx = ModuleContext(rel_path, source, tree, config)
+        _run_rules(ctx, rule_classes)
+        all_findings.extend(ctx.findings)
+        result.suppressed.extend(ctx.suppressed)
+        result.files_scanned += 1
+    all_findings.sort()
+    result.suppressed.sort()
+    if baseline is None:
+        result.findings = all_findings
+    else:
+        for finding in all_findings:
+            (result.baselined if baseline.is_baselined(finding) else result.findings).append(
+                finding
+            )
+        result.stale_baseline = baseline.stale_entries(all_findings)
+    return result

@@ -1,0 +1,39 @@
+"""The :class:`Finding` record every rule emits.
+
+One finding is one violated invariant at one source location.  Findings are
+frozen (reporters and the baseline matcher share them freely) and orderable
+by location, so reports are deterministic regardless of rule execution
+order — the analyzer holds itself to the determinism lint it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the module path relative to the ``repro`` package root
+    (e.g. ``server/runtime.py``) so findings — and the baseline entries that
+    grandfather them — stay stable across checkouts and scan roots.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def family(self) -> str:
+        """The rule family prefix (``race``, ``det``, ``dtype``, ``layer``)."""
+        return self.rule.split("-", 1)[0]
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

@@ -1,0 +1,69 @@
+"""Reporters: one result, two audiences.
+
+The human reporter prints ``path:line:col: [rule-id] message`` lines plus a
+summary — the shape editors and CI logs already know how to read.  The JSON
+reporter emits the full machine-readable record (new / baselined /
+suppressed findings, stale baseline entries, rule inventory) that CI uploads
+as the ``analysis.json`` artifact, so a failing gate can be diffed instead
+of re-run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.rules import available_rules
+
+REPORT_VERSION = 1
+
+
+def render_human(result: AnalysisResult, *, verbose: bool = False) -> str:
+    """The terminal report: findings first, then the one-line verdict."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.render()}  (baselined)")
+        for finding in result.suppressed:
+            lines.append(f"{finding.render()}  (suppressed inline)")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: [{entry.rule}] {entry.path} ({entry.match!r}) "
+            "matches no finding — delete it"
+        )
+    lines.append(
+        f"{len(result.findings)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed inline, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """The machine report (stable key order, newline-terminated)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "rules": {
+            rule_id: {"family": cls.family, "description": cls.description}
+            for rule_id, cls in sorted(available_rules().items())
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "match": e.match, "reason": e.reason}
+            for e in result.stale_baseline
+        ],
+        "summary": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,108 @@
+"""Rule base class and the rule registry.
+
+A rule is an :class:`ast.NodeVisitor` with identity (``rule_id``, ``family``,
+``description``): the engine instantiates each registered rule per module and
+hands it the :class:`~repro.analysis.context.ModuleContext`; the rule walks
+the tree with standard visitor dispatch and reports findings through
+``self.report(...)``.  Registration is by decorator, and the registry is what
+the CLI's ``--rules`` selection and the API-surface lockfile enumerate.
+
+Adding a rule is three steps: subclass :class:`Rule` in a module under
+``repro/analysis/rules/``, decorate it with :func:`register_rule`, and import
+it from this package's ``_load_builtin_rules`` — plus a fixture trio
+(violating / suppressed / clean) in ``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, ClassVar, Iterable, Type
+
+from repro.analysis.context import ModuleContext
+
+
+class Rule(ast.NodeVisitor):
+    """One invariant checker: visitor dispatch over a module's AST."""
+
+    rule_id: ClassVar[str] = ""
+    family: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path scoping)."""
+        return True
+
+    def run(self) -> None:
+        """Walk the module; override for rules that need multiple passes."""
+        self.visit(self.ctx.tree)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.report(node, self.rule_id, self.family, message)
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not cls.rule_id or not cls.family:
+        raise ValueError(f"{cls.__name__} must define rule_id and family")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    from repro.analysis.rules import determinism, dtype, layering, race  # noqa: F401
+
+
+def available_rules() -> dict[str, Type[Rule]]:
+    """All registered rules, keyed by id (loads the built-ins on first use)."""
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def rule_families() -> dict[str, tuple[str, ...]]:
+    """Family name → sorted rule ids in that family."""
+    families: dict[str, list[str]] = {}
+    for rule_id, cls in available_rules().items():
+        families.setdefault(cls.family, []).append(rule_id)
+    return {family: tuple(sorted(ids)) for family, ids in sorted(families.items())}
+
+
+def select_rules(selection: Iterable[str] | None = None) -> list[Type[Rule]]:
+    """Resolve a ``--rules`` selection (ids and/or family names) to classes."""
+    registry = available_rules()
+    if selection is None:
+        return [registry[rule_id] for rule_id in sorted(registry)]
+    chosen: dict[str, Type[Rule]] = {}
+    for token in selection:
+        matched = {
+            rule_id: cls
+            for rule_id, cls in registry.items()
+            if rule_id == token or cls.family == token
+        }
+        if not matched:
+            known = ", ".join(sorted(set(registry) | {c.family for c in registry.values()}))
+            raise ValueError(f"unknown rule or family {token!r} (known: {known})")
+        chosen.update(matched)
+    return [chosen[rule_id] for rule_id in sorted(chosen)]
+
+
+#: Shared helper: dotted-name rendering for Call targets (``a.b.c`` or None).
+def dotted_name(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+ReportFn = Callable[[ast.AST, str], None]

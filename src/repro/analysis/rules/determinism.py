@@ -1,0 +1,248 @@
+"""Determinism lint (``det-*``).
+
+The repository's north-star contract is bit-stable results: snapshots
+restore bit-identically, batched queries equal sequential queries, restarts
+replay to the same index.  Library code that reads wall clocks, draws from
+process-global RNGs, or iterates environment-ordered collections breaks
+that silently.  Three checks:
+
+``det-wallclock``
+    ``time.time()``/``time.monotonic()``/``datetime.now()`` and friends
+    anywhere outside the clock abstraction (``utils/clock.py``) — library
+    code must take an injected :class:`~repro.utils.clock.Clock` (timing
+    *measurement* via ``time.perf_counter`` is deliberately not flagged).
+
+``det-global-rng``
+    ``random.*`` module calls and global ``np.random.*`` draws, plus
+    *unseeded* ``np.random.default_rng()`` — randomness must come from an
+    explicitly seeded ``np.random.Generator`` passed in by the caller
+    (``utils/seeding.py`` is the one sanctioned place that touches the
+    global state, and ``*.seed(...)`` calls inject determinism rather than
+    consume it).
+
+``det-env-iteration``
+    Environment-ordered iteration feeding results: ``os.listdir``/
+    ``Path.iterdir``/``glob`` results consumed without ``sorted(...)``, and
+    iteration over ``set`` values flowing into ordered sinks (``list``,
+    ``extend``, ``for`` loops) — set order varies with hash seeding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.rules import Rule, dotted_name, register_rule
+
+#: Calls returning environment-ordered listings, as dotted-name suffixes.
+_ENV_LISTING_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+#: Attribute calls on path objects returning environment-ordered listings.
+_ENV_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+class _DeterminismRule(Rule):
+    """Shared scoping: the clock/seeding modules are exempt."""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.config.determinism.is_exempt(ctx.rel_path)
+
+
+@register_rule
+class WallclockRule(_DeterminismRule):
+    """Wall-clock reads in library code (use an injected Clock)."""
+
+    rule_id = "det-wallclock"
+    family = "det"
+    description = "time.time()/datetime.now() outside utils/clock.py"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            for entry in self.ctx.config.determinism.wallclock_calls:
+                if dotted == entry or dotted.endswith("." + entry):
+                    self.report(
+                        node,
+                        f"'{dotted}()' reads the wall clock in library code — "
+                        "inject a repro.utils.clock.Clock instead",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+@register_rule
+class GlobalRngRule(_DeterminismRule):
+    """Process-global / unseeded randomness in library code."""
+
+    rule_id = "det-global-rng"
+    family = "det"
+    description = "module-level random.* or unseeded np.random.* usage"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if (
+            parts[0] == "random"
+            and len(parts) == 2
+            and "random" in self.ctx.imported_modules
+            and parts[1] != "seed"
+        ):
+            self.report(
+                node,
+                f"'{dotted}()' draws from the process-global random module — "
+                "take an explicit np.random.Generator instead",
+            )
+            return
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            method = parts[2]
+            if method == "seed":
+                return
+            if method == "default_rng":
+                if not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "'np.random.default_rng()' without a seed is "
+                        "run-to-run nondeterministic — pass an explicit seed "
+                        "or accept a Generator from the caller",
+                    )
+                return
+            self.report(
+                node,
+                f"'{dotted}()' uses NumPy's global RNG state — take an "
+                "explicit np.random.Generator instead",
+            )
+
+
+def _iter_scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield ``(scope, nodes)`` per scope, not descending into inner scopes."""
+    scopes: list[ast.AST] = [tree]
+    collected: list[tuple[ast.AST, list[ast.AST]]] = []
+    while scopes:
+        scope = scopes.pop()
+        nodes: list[ast.AST] = []
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                scopes.append(node)
+                continue
+            nodes.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        collected.append((scope, nodes))
+    yield from collected
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register_rule
+class EnvIterationRule(_DeterminismRule):
+    """Environment-ordered iteration feeding results."""
+
+    rule_id = "det-env-iteration"
+    family = "det"
+    description = "unsorted os.listdir/iterdir results or set iteration into results"
+
+    def run(self) -> None:
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Call):
+                self._check_listing_call(node)
+        for _scope, nodes in _iter_scopes(self.ctx.tree):
+            self._check_set_flow(nodes)
+
+    # -- directory listings -------------------------------------------- #
+    def _check_listing_call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        is_listing = False
+        label = dotted or ""
+        if dotted is not None and any(
+            dotted == entry or dotted.endswith("." + entry)
+            for entry in _ENV_LISTING_CALLS
+        ):
+            is_listing = True
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ENV_LISTING_METHODS
+        ):
+            is_listing = True
+            label = node.func.attr
+        if not is_listing or self._ordered_downstream(node):
+            return
+        self.report(
+            node,
+            f"'{label}' returns entries in filesystem order — wrap the "
+            "consumer in sorted(...) before results depend on it",
+        )
+
+    def _ordered_downstream(self, node: ast.AST) -> bool:
+        """True when an enclosing expression imposes/ignores order (sorted…)."""
+        wrappers = self.ctx.config.determinism.order_insensitive_wrappers
+        current: ast.AST | None = self.ctx.parents.get(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if (
+                isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id in wrappers
+            ):
+                return True
+            current = self.ctx.parents.get(current)
+        return False
+
+    # -- set-ordered values flowing into ordered sinks ------------------ #
+    def _check_set_flow(self, nodes: list[ast.AST]) -> None:
+        set_names: set[str] = set()
+        for node in nodes:
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        set_names.add(target.id)
+
+        def is_set_value(expr: ast.AST) -> bool:
+            if _is_set_expr(expr):
+                return True
+            return isinstance(expr, ast.Name) and expr.id in set_names
+
+        for node in nodes:
+            if isinstance(node, ast.For) and is_set_value(node.iter):
+                self.report(
+                    node.iter,
+                    "iterating a set in hash order — wrap it in sorted(...) "
+                    "before the iteration order can reach results",
+                )
+            elif isinstance(node, ast.comprehension) and is_set_value(node.iter):
+                self.report(
+                    node.iter,
+                    "comprehension over a set iterates in hash order — "
+                    "wrap it in sorted(...)",
+                )
+            elif isinstance(node, ast.Call):
+                self._check_set_sink(node, is_set_value)
+
+    def _check_set_sink(self, node: ast.Call, is_set_value) -> None:
+        sinks = self.ctx.config.determinism.order_sensitive_sinks
+        name: str | None = None
+        if isinstance(node.func, ast.Name) and node.func.id in sinks:
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in sinks:
+            name = node.func.attr
+        if name is None or not node.args:
+            return
+        if is_set_value(node.args[0]):
+            self.report(
+                node,
+                f"'{name}(...)' materialises a set in hash order — "
+                "wrap the set in sorted(...) first",
+            )

@@ -1,0 +1,163 @@
+"""Dtype-discipline lint (``dtype-*``) for the float32 hot paths.
+
+The serving stack's speed story is float32 end to end: half the memory
+traffic of float64, and every index backend, kernel, and snapshot depends on
+it.  A single dtype-less allocation silently promotes a whole pipeline back
+to float64 — correct answers, twice the latency.  Three checks, enforced
+only in the configured hot-path modules:
+
+``dtype-untyped-alloc``
+    ``np.array``/``np.zeros``/``np.ones``/``np.empty``/``np.full`` without
+    an explicit ``dtype=`` — the default is float64.
+
+``dtype-float64-cast``
+    Explicit promotion: ``.astype(np.float64)`` (or ``float``/"float64"),
+    ``np.float64(...)``, and ``dtype=np.float64`` keywords.  Deliberate
+    float64 accumulators (numerical stability) should carry an inline
+    ``# repro: allow[dtype-float64-cast]`` with the justification alongside.
+
+``dtype-float-literal``
+    Arithmetic between a bare float literal and a NumPy call expression
+    (e.g. ``np.sum(x) / 2.0``): under value-based promotion rules this is
+    where float32 pipelines historically leaked to float64 — prefer
+    ``np.float32`` scalars or dtype-preserving in-place ops in kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.rules import Rule, dotted_name, register_rule
+
+#: Expressions denoting the float64 dtype in casts and dtype= keywords.
+_FLOAT64_STRINGS = frozenset({"float64", "double", "f8", ">f8", "<f8"})
+
+
+def _is_float64_expr(node: ast.AST) -> bool:
+    dotted = dotted_name(node)
+    if dotted in ("np.float64", "numpy.float64", "np.double", "numpy.double"):
+        return True
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    return isinstance(node, ast.Constant) and node.value in _FLOAT64_STRINGS
+
+
+class _DtypeRule(Rule):
+    """Shared scoping: only the configured hot-path modules are checked."""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.config.dtype.is_hot_path(ctx.rel_path)
+
+
+@register_rule
+class UntypedAllocRule(_DtypeRule):
+    """Array allocation without an explicit dtype (defaults to float64)."""
+
+    rule_id = "dtype-untyped-alloc"
+    family = "dtype"
+    description = "np.array/np.zeros/... without dtype= in a hot-path module"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in self.ctx.config.dtype.untyped_allocators
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                self.report(
+                    node,
+                    f"'{dotted}(...)' without dtype= defaults to float64 in a "
+                    "float32 hot path — pass dtype=np.float32 (or the intended "
+                    "integer dtype) explicitly",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class Float64CastRule(_DtypeRule):
+    """Explicit float64 promotion in a hot-path module."""
+
+    rule_id = "dtype-float64-cast"
+    family = "dtype"
+    description = "astype(float64)/np.float64()/dtype=float64 in a hot-path module"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted in ("np.float64", "numpy.float64"):
+            self.report(
+                node, "'np.float64(...)' promotes to float64 in a float32 hot path"
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+            and _is_float64_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                "'.astype(float64)' promotes a hot-path array to float64 — "
+                "keep the pipeline float32",
+            )
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_float64_expr(keyword.value):
+                self.report(
+                    node,
+                    "dtype=float64 allocates a float64 array in a float32 hot "
+                    "path — use float32 unless this is a justified accumulator",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class FloatLiteralRule(_DtypeRule):
+    """Bare float-literal arithmetic against a NumPy expression."""
+
+    rule_id = "dtype-float-literal"
+    family = "dtype"
+    description = "float literal combined with a NumPy call result in a hot path"
+
+    _OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, self._OPS) and not self._cast_to_float32(node):
+            for literal, other in ((node.left, node.right), (node.right, node.left)):
+                if (
+                    isinstance(literal, ast.Constant)
+                    and isinstance(literal.value, float)
+                    and self._is_numpy_call(other)
+                ):
+                    self.report(
+                        node,
+                        f"bare float literal {literal.value!r} combined with a "
+                        "NumPy expression — use np.float32 scalars (or in-place "
+                        "ops) so the hot path cannot promote to float64",
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_numpy_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = dotted_name(node.func)
+        return dotted is not None and dotted.split(".")[0] in ("np", "numpy")
+
+    def _cast_to_float32(self, node: ast.BinOp) -> bool:
+        """True when an enclosing expression casts the result to float32."""
+        current = self.ctx.parents.get(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if isinstance(current, ast.Call):
+                dotted = dotted_name(current.func)
+                if dotted in ("np.float32", "numpy.float32"):
+                    return True
+                if (
+                    isinstance(current.func, ast.Attribute)
+                    and current.func.attr == "astype"
+                ):
+                    return True
+            current = self.ctx.parents.get(current)
+        return False

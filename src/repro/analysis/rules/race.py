@@ -1,0 +1,290 @@
+"""Lock-discipline race lint (``race-*``).
+
+Thread-reachable code — anything under the configured ``thread_paths``
+(``server/``, ``streaming/``) or any class marked ``# thread: shared`` —
+must mutate shared instance state under a lock.  Two checks:
+
+``race-unguarded-write``
+    For each class, the *guarded set* is inferred: every ``self.attr``
+    mutated inside a ``with self._lock:``-style block, or inside a method
+    following the ``*_locked`` caller-holds-the-lock naming convention, is
+    evidently meant to be lock-protected.  Any mutation of a guarded
+    attribute *outside* a lock context (and outside ``__init__``) is a
+    latent data race: the lock only works if every writer takes it.
+
+``race-lockless-class``
+    A class in thread-reachable scope that owns no lock at all yet mutates
+    instance state in its regular methods — the exact shape of the pre-PR-6
+    ``_LRUCache``, whose lock-free ``get`` mutated hit counters and LRU
+    order from every query worker at once.  Single-writer classes that are
+    only ever driven by one thread (e.g. behind the runtime's ingest lock)
+    are deliberate exceptions: baseline them with that reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.rules import Rule, register_rule
+
+#: Constructor names whose result is a lock-like object.
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One mutation of ``self.<attr>`` inside a method body."""
+
+    attr: str
+    node: ast.AST
+    method: str
+    locked: bool
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """The attribute name when ``node`` is ``self.<attr>`` (else ``None``)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_attr(node: ast.AST) -> str | None:
+    """The ``self.<attr>`` a statement/expression mutates, if any."""
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _self_attribute(target)
+            if attr is not None:
+                return attr
+            # self.attr[key] = value / self.attr[key] += value
+            if isinstance(target, ast.Subscript):
+                attr = _self_attribute(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Call):
+        # self.attr.append(...) and friends mutate self.attr in place.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            attr = _self_attribute(node.func.value)
+            if attr is not None:
+                return attr
+    return None
+
+
+class _ClassLockModel:
+    """Lock facts about one class: lock attrs, guarded set, every write."""
+
+    def __init__(self, class_def: ast.ClassDef, ctx: ModuleContext) -> None:
+        self.class_def = class_def
+        self.ctx = ctx
+        self.config = ctx.config.race
+        self.lock_attrs: set[str] = set()
+        self.has_lock_context = False
+        self.writes: list[_Write] = []
+        self._collect_lock_attrs()
+        for method in self._methods():
+            self._collect_writes(method)
+
+    # -- structure ----------------------------------------------------- #
+    def _methods(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in self.class_def.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _own_nodes(self, root: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``root`` without descending into nested classes."""
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.ClassDef):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- lock discovery ------------------------------------------------ #
+    def _is_lockish_name(self, attr: str) -> bool:
+        lowered = attr.lower()
+        return attr in self.lock_attrs or any(
+            hint in lowered for hint in self.config.lock_name_hints
+        )
+
+    def _collect_lock_attrs(self) -> None:
+        for node in self._own_nodes(self.class_def):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _LOCK_CONSTRUCTORS
+            ):
+                continue
+            for target in node.targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    self.lock_attrs.add(attr)
+
+    def _is_lock_with(self, node: ast.With | ast.AsyncWith) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            # `with self._lock:` — also Condition objects (`with self._cond:`).
+            attr = _self_attribute(expr)
+            if attr is not None and self._is_lockish_name(attr):
+                return True
+            # `with self._lock.acquire_timeout(...)` style helpers.
+            if isinstance(expr, ast.Call):
+                attr = _self_attribute(expr.func)
+                if attr is not None and self._is_lockish_name(attr):
+                    return True
+        return False
+
+    # -- write collection ---------------------------------------------- #
+    def _method_is_locked(self, name: str) -> bool:
+        return any(name.endswith(suffix) for suffix in self.config.locked_suffixes)
+
+    def _collect_writes(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        suffix_locked = self._method_is_locked(method.name)
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, ast.ClassDef):
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)) and self._is_lock_with(node):
+                self.has_lock_context = True
+                locked = True
+            attr = _written_attr(node)
+            if attr is not None and attr not in self.lock_attrs:
+                self.writes.append(
+                    _Write(attr=attr, node=node, method=method.name, locked=locked)
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        for child in method.body:
+            visit(child, suffix_locked)
+
+    # -- verdicts ------------------------------------------------------ #
+    @property
+    def guarded_attrs(self) -> set[str]:
+        return {write.attr for write in self.writes if write.locked}
+
+    def is_marked_shared(self) -> bool:
+        marker = self.config.shared_marker
+        for lineno in (self.class_def.lineno, self.class_def.lineno - 1):
+            if marker in self.ctx.line_text(lineno):
+                return True
+        return False
+
+    def is_thread_reachable(self) -> bool:
+        return self.config.is_thread_path(self.ctx.rel_path) or self.is_marked_shared()
+
+    def unguarded_writes(self) -> list[_Write]:
+        guarded = self.guarded_attrs
+        return [
+            write
+            for write in self.writes
+            if write.attr in guarded
+            and not write.locked
+            and write.method not in self.config.exempt_methods
+        ]
+
+    def lockless_mutations(self) -> list[_Write]:
+        if self.lock_attrs or self.has_lock_context:
+            return []
+        return [
+            write
+            for write in self.writes
+            if write.method not in self.config.exempt_methods
+        ]
+
+
+def _iter_class_models(ctx: ModuleContext) -> Iterator[_ClassLockModel]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            yield _ClassLockModel(node, ctx)
+
+
+@register_rule
+class UnguardedWriteRule(Rule):
+    """A lock-guarded attribute is also written outside the lock."""
+
+    rule_id = "race-unguarded-write"
+    family = "race"
+    description = (
+        "attribute guarded by `with self._lock:` elsewhere is mutated outside "
+        "any lock in a thread-reachable method"
+    )
+
+    def run(self) -> None:
+        for model in _iter_class_models(self.ctx):
+            if not model.is_thread_reachable():
+                continue
+            for write in model.unguarded_writes():
+                self.report(
+                    write.node,
+                    f"'{model.class_def.name}.{write.attr}' is guarded by a lock "
+                    f"elsewhere in the class but mutated without it in "
+                    f"'{write.method}' — every writer must take the lock",
+                )
+
+
+@register_rule
+class LocklessClassRule(Rule):
+    """A thread-reachable class mutates state without owning any lock."""
+
+    rule_id = "race-lockless-class"
+    family = "race"
+    description = (
+        "class in a thread-reachable module mutates instance state in regular "
+        "methods without any lock (the pre-PR-6 _LRUCache shape)"
+    )
+
+    def run(self) -> None:
+        for model in _iter_class_models(self.ctx):
+            if not model.is_thread_reachable():
+                continue
+            mutations = model.lockless_mutations()
+            if not mutations:
+                continue
+            example = mutations[0]
+            self.report(
+                model.class_def,
+                f"class '{model.class_def.name}' is thread-reachable but mutates "
+                f"instance state (e.g. 'self.{example.attr}' in '{example.method}' "
+                f"at line {example.node.lineno}) without any lock — add a lock or "
+                "baseline it with the reason it is single-writer",
+            )

@@ -1,0 +1,47 @@
+"""Inline suppression comments: ``# repro: allow[rule-id]``.
+
+A finding is suppressed when any physical line its node spans carries an
+allow comment naming the finding's rule id, its family (``race``, ``det``,
+``dtype``, ``layer``), or ``all``.  Several ids may share one comment:
+``# repro: allow[det-wallclock, dtype-untyped-alloc]``.
+
+Suppressions are parsed from raw source lines (not the AST — comments never
+reach it), once per module, into a line-number → token-set map.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule tokens allowed on that line."""
+    allowed: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_PATTERN.search(line)
+        if match is None:
+            continue
+        tokens = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if tokens:
+            allowed[number] = tokens
+    return allowed
+
+
+def is_suppressed(
+    allowed: dict[int, frozenset[str]],
+    rule: str,
+    family: str,
+    start_line: int,
+    end_line: int | None = None,
+) -> bool:
+    """True when lines ``start_line..end_line`` allow ``rule`` (or its family)."""
+    last = end_line if end_line is not None else start_line
+    for line in range(start_line, last + 1):
+        tokens = allowed.get(line)
+        if tokens and not tokens.isdisjoint({rule, family, "all"}):
+            return True
+    return False

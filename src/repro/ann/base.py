@@ -349,7 +349,7 @@ class AnnBackendBase:
             truth_d = (
                 block_norms
                 + self._norms[block_truth_rows]
-                - 2.0 * np.einsum("ij,ij->i", block, gathered)
+                - np.float32(2.0) * np.einsum("ij,ij->i", block, gathered)
             )
             np.maximum(truth_d, 0.0, out=truth_d)
             before = scan_count_before(

@@ -181,7 +181,7 @@ class IVFPQBackend(IVFBackend):
         exact = (
             block_norms[:, None]
             + structure.norms[rows]
-            - 2.0 * np.einsum("qd,qpd->qp", block, candidates)
+            - np.float32(2.0) * np.einsum("qd,qpd->qp", block, candidates)
         )
         np.maximum(exact, 0.0, out=exact)
         candidate_ids = structure.ids[rows]

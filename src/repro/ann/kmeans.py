@@ -110,7 +110,9 @@ def kmeans(
                         counts[donor] -= 1
                         counts[slot] += 1
                         break
-        sums = np.zeros((k, data.shape[1]), dtype=np.float64)
+        # float64 accumulator on purpose: summing many float32 rows in
+        # float32 loses mass on large clusters; cast back after the divide.
+        sums = np.zeros((k, data.shape[1]), dtype=np.float64)  # repro: allow[dtype-float64-cast]
         np.add.at(sums, assignments, data)
         centroids = (sums / counts[:, None]).astype(np.float32)
         if previous is not None and np.array_equal(previous, assignments):

@@ -620,7 +620,9 @@ class Engine:
                 vectors, ids = vectors[keep], ids[keep]
             engine._backend.add(vectors, ids=ids)
             if replay_tombstones:
-                deleted.extend(dead_ids)
+                # dead_ids is a set: sort so the tombstone replay order (and
+                # thus the restored layout) never depends on hash seeding.
+                deleted.extend(sorted(dead_ids))
             for row_id, trajectory_id in zip(
                 store.ids, store.metadata.get("trajectory_ids", store.ids)
             ):

@@ -592,7 +592,9 @@ class Tensor:
 
     @staticmethod
     def randn(shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
-        rng = rng if rng is not None else np.random.default_rng()
+        # Unseeded fallback on purpose: ad-hoc tensors for callers that did
+        # not ask for reproducibility; training paths always pass an rng.
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow[det-global-rng]
         return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad)
 
 

@@ -75,7 +75,7 @@ class Checkpointer:
         engine: Engine,
         *,
         generation: int,
-        stream_state: dict | None = None,
+        stream_state: dict[str, int] | None = None,
         ingested_records: int = 0,
     ) -> CheckpointInfo:
         """Snapshot ``engine`` and commit a manifest pointing at it."""
@@ -118,7 +118,7 @@ class Checkpointer:
     # Reading
     # ------------------------------------------------------------------ #
     @classmethod
-    def load_manifest(cls, directory: str | Path) -> dict | None:
+    def load_manifest(cls, directory: str | Path) -> dict[str, object] | None:
         """The committed manifest under ``directory``, or ``None`` if absent."""
         manifest_path = Path(directory) / _MANIFEST_NAME
         if not manifest_path.exists():

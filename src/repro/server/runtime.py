@@ -58,12 +58,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.api.engine import Engine
+from repro.api.engine import Engine, EngineConfig
 from repro.api.types import QueryRequest, QueryResponse
 from repro.server.aggregator import BatchAggregator, PendingQuery
 from repro.server.checkpoint import Checkpointer
 from repro.server.config import KillWorker, ServerClosed, ServerConfig, ServerHooks
 from repro.streaming.reader import TrajectoryStreamReader
+from repro.trajectory.types import Trajectory
 from repro.utils.clock import Clock, SystemClock
 
 #: Worker-queue sentinel: the receiving worker exits cleanly.
@@ -148,7 +149,7 @@ class ServingRuntime:
         self.config = config or ServerConfig()
         self._hooks = hooks or ServerHooks()
         self._clock = clock if clock is not None else SystemClock()
-        self._queue: queue.Queue = queue.Queue()
+        self._queue: queue.Queue[list[PendingQuery] | object] = queue.Queue()
         self._aggregator = BatchAggregator(
             self._enqueue_batch,
             max_batch=self.config.max_batch,
@@ -174,13 +175,13 @@ class ServingRuntime:
         self._generation = 0
         # Ingestion.
         self._ingest_lock = threading.Lock()
-        self._ingest_queue: deque = deque()
+        self._ingest_queue: deque[list[Trajectory]] = deque()
         self._ingest_wake = self._clock.make_event()
         self._stop_ingest = False
         self._ingester: threading.Thread | None = None
         self._reader: TrajectoryStreamReader | None = None
-        self._stream_buffer: list = []
-        self._stream_base_state: dict | None = None
+        self._stream_buffer: list[Trajectory] = []
+        self._stream_base_state: dict[str, int] | None = None
         self._groups_since_publish = 0
         self._publishes_since_checkpoint = 0
         self._ingested_records = 0
@@ -224,7 +225,7 @@ class ServingRuntime:
     def __enter__(self) -> "ServingRuntime":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.shutdown()
 
     def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
@@ -272,7 +273,7 @@ class ServingRuntime:
         encoder,
         *,
         config: ServerConfig | None = None,
-        engine_config=None,
+        engine_config: EngineConfig | None = None,
         stream_path: str | Path | None = None,
         hooks: ServerHooks | None = None,
         clock: Clock | None = None,
@@ -309,7 +310,7 @@ class ServingRuntime:
         published = self._published
         return published[0] if published is not None else 0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """A point-in-time counters snapshot (queries, batches, faults, …)."""
         aggregator = self._aggregator.stats
         with self._state_lock:
@@ -356,7 +357,9 @@ class ServingRuntime:
         future.add_done_callback(self._request_done)
         return future
 
-    def query(self, request: "QueryRequest | np.ndarray", timeout: float | None = None):
+    def query(
+        self, request: "QueryRequest | np.ndarray", timeout: float | None = None
+    ) -> QueryResponse:
         """Blocking :meth:`submit` — the drop-in for :meth:`Engine.query`."""
         return self.submit(request).result(timeout)
 
@@ -445,7 +448,7 @@ class ServingRuntime:
     # Ingest path
     # ------------------------------------------------------------------ #
     def attach_stream(
-        self, path: str | Path, *, resume_state: dict | None = None
+        self, path: str | Path, *, resume_state: dict[str, int] | None = None
     ) -> TrajectoryStreamReader:
         """Tail ``path`` (a trajectories JSONL); returns the reader used."""
         reader = TrajectoryStreamReader(path)
@@ -458,18 +461,22 @@ class ServingRuntime:
         self._ingest_wake.set()
         return reader
 
-    def submit_ingest(self, trajectories: Sequence) -> int:
+    def submit_ingest(self, trajectories: Sequence[Trajectory]) -> int:
         """Queue one wave for the background ingest thread; returns its size."""
         wave = list(trajectories)
         with self._state_lock:
             if self._closed:
                 raise ServerClosed("the runtime is not accepting ingests")
         if wave:
-            self._ingest_queue.append(wave)
+            # The ingest thread pops this queue under _ingest_lock; a
+            # lock-free append here relies on deque atomicity instead of the
+            # class's lock discipline.
+            with self._ingest_lock:
+                self._ingest_queue.append(wave)
             self._ingest_wake.set()
         return len(wave)
 
-    def ingest(self, trajectories: Iterable) -> int:
+    def ingest(self, trajectories: Iterable[Trajectory]) -> int:
         """Synchronous ingest of one wave into the primary (publishes if due)."""
         wave = list(trajectories)
         if not wave:
@@ -479,7 +486,7 @@ class ServingRuntime:
             self._maybe_publish_locked()
         return len(wave)
 
-    def pump(self) -> dict:
+    def pump(self) -> dict[str, int | bool]:
         """Run one ingest cycle synchronously (the test-kit's deterministic lever).
 
         Drains queued waves, polls the attached stream into full groups,
@@ -499,7 +506,7 @@ class ServingRuntime:
             published = self._maybe_publish_locked()
         return {"waves": waves, "stream_records": records, "published": published}
 
-    def flush_ingest(self) -> dict:
+    def flush_ingest(self) -> dict[str, int | bool]:
         """Like :meth:`pump`, but also force the partial stream group through
         and publish unconditionally (plus checkpoint when configured)."""
         with self._ingest_lock:
@@ -515,7 +522,7 @@ class ServingRuntime:
                 return
             self.pump()
 
-    def _ingest_wave_locked(self, wave: list) -> None:
+    def _ingest_wave_locked(self, wave: list[Trajectory]) -> None:
         with self._encode_lock:
             self.primary.ingest(wave)
         self._ingested_waves += 1
@@ -540,13 +547,13 @@ class ServingRuntime:
             self._ingest_group_locked(group)
             ingested += len(group)
 
-    def _ingest_group_locked(self, group: list) -> None:
+    def _ingest_group_locked(self, group: list[Trajectory]) -> None:
         with self._encode_lock:
             self.primary.ingest(group)
         self._ingested_records += len(group)
         self._groups_since_publish += 1
 
-    def _drain_ingest_locked(self, *, force_partial: bool) -> dict:
+    def _drain_ingest_locked(self, *, force_partial: bool) -> dict[str, int | bool]:
         waves = 0
         while True:
             try:

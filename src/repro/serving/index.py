@@ -92,7 +92,7 @@ def merge_topk_candidates(
             np.take_along_axis(cand_d, keep, axis=1),
             np.take_along_axis(cand_i, keep, axis=1),
         )
-    return np.array(cand_d, copy=True), np.array(cand_i, copy=True)
+    return cand_d.copy(), cand_i.copy()
 
 
 def scan_topk_candidates(
@@ -351,7 +351,7 @@ class SimilarityIndex:
             truth_d = (
                 block_norms
                 + self._database_norms[block_truth]
-                - 2.0 * np.einsum("ij,ij->i", block, gathered)
+                - np.float32(2.0) * np.einsum("ij,ij->i", block, gathered)
             )
             np.maximum(truth_d, 0.0, out=truth_d)
             # Pass 2: count items sorting strictly before the truth item.

@@ -69,7 +69,7 @@ class TrajectoryStreamReader:
         return self._line_number
 
     @property
-    def state(self) -> dict:
+    def state(self) -> dict[str, int]:
         """The resumable read position, as checkpointed by the serving runtime.
 
         ``offset`` is the byte the next poll seeks to; ``line_number`` and

@@ -50,7 +50,7 @@ _MANIFEST_NAME = "manifest.json"
 DEFAULT_QUERY_CACHE_SIZE = 128
 
 
-class _LRUCache:
+class _LRUCache:  # thread: shared
     """A tiny ordered-dict LRU for query results.
 
     Thread-safe: the serving runtime hits one engine's cache from many

@@ -1,10 +1,12 @@
-"""Public-API surface lock for `repro.api` and `repro.server`.
+"""Public-API surface lock for `repro.api`, `repro.server` and `repro.analysis`.
 
 ``tests/data/api_surface.json`` is the checked-in snapshot of the facade's
 contract: the exported names (``repro.api.__all__`` and
 ``repro.server.__all__``), every public dataclass's field list (including
 ``ServerConfig``'s knobs), the public `Engine`/`ServingRuntime` methods,
-and the registered built-in backends.  This test
+the registered built-in backends, and the static-analysis surface (its
+``__all__``, the ``Finding`` shape, the registered rule ids, and the CLI
+entry point).  This test
 diffs the live surface against the snapshot, so an accidental rename, field
 removal or export drop fails CI with an explicit diff instead of silently
 breaking downstream users.
@@ -23,6 +25,7 @@ import dataclasses
 import json
 from pathlib import Path
 
+import repro.analysis as analysis
 import repro.api as api
 import repro.server as server
 
@@ -69,6 +72,14 @@ def current_surface() -> dict:
             if not name.startswith("_")
             and callable(getattr(server.ServingRuntime, name, None))
         ),
+    }
+    surface["analysis"] = {
+        "__all__": sorted(analysis.__all__),
+        "cli_entry": "python -m repro.analysis",
+        "finding_fields": [
+            field.name for field in dataclasses.fields(analysis.Finding)
+        ],
+        "rules": sorted(analysis.available_rules()),
     }
     return surface
 
