@@ -7,14 +7,26 @@ the top-level command) and records headline numbers in
 
 Benchmarks run exactly once per session (``rounds=1``): they are experiment
 regenerations, not micro-benchmarks, and some take minutes.
+
+At session end every gate measurement is folded into a small **performance
+trajectory artefact** (``BENCH_pr9.json`` by default, override with
+``REPRO_BENCH_TRAJECTORY``): name, group, extra_info and timing stats per
+benchmark, written atomically so a killed run never leaves a torn file.
+CI uploads it next to the raw pytest-benchmark JSON.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.obs.metrics import dump_metrics
 from repro.utils.seeding import seed_everything
+
+#: Timing fields copied from pytest-benchmark's Stats into the trajectory.
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "rounds", "iterations")
 
 
 @pytest.fixture(autouse=True)
@@ -31,3 +43,35 @@ def run_once(benchmark, function, *args, **kwargs):
 @pytest.fixture()
 def once():
     return run_once
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Fold this session's gate measurements into the trajectory artefact."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) if bench_session else None
+    if not benchmarks:
+        return
+    entries = []
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        timing = {}
+        if stats is not None:
+            source = getattr(stats, "stats", stats)  # Metadata.stats nests a Stats
+            for field in _STAT_FIELDS:
+                value = getattr(source, field, None)
+                if isinstance(value, (int, float)):
+                    timing[field] = value
+        entries.append(
+            {
+                "name": getattr(bench, "name", "?"),
+                "group": getattr(bench, "group", None),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+                "stats": timing,
+            }
+        )
+    payload = {
+        "schema_version": 1,
+        "trajectory": "pr9",
+        "benchmarks": entries,
+    }
+    dump_metrics(os.environ.get("REPRO_BENCH_TRAJECTORY", "BENCH_pr9.json"), payload)

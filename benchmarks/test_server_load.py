@@ -1,28 +1,41 @@
-"""Load gate for the serving runtime: batched concurrent vs sequential QPS.
+"""Load gates for the serving runtime: batching speedup and metrics overhead.
 
 The serving claim of PR 6 measured at a serving-ish scale (20k rows, 64-d,
 production ``chunked`` backend): coalescing concurrent single-row queries
 into fused batches must sustain **at least 2x** the QPS of the same
 requests issued one by one by a single caller through ``Engine.query``.
+PR 9 adds the observability claim: turning the metrics registry **on**
+must cost at most a few percent of that QPS.
 
-Three phases, all over the same 512 unique queries (more than the 128-entry
-query cache holds, so every phase is all-miss and the comparison is fair):
+Four phases, all over the same 512 unique queries (more than the 128-entry
+query cache holds, so every query phase is all-miss and comparisons are
+fair):
 
 1. **Sequential baseline** — one caller, one ``Engine.query`` per request;
    best of ``ROUNDS`` passes.
-2. **Batched** — a :class:`ServingRuntime` (1 worker: this gate must hold
-   on a single core, where the win comes from batch amortisation, not
-   parallelism) with pipelined callers; best of ``ROUNDS`` passes.  Gated:
+2. **Batched, metrics off** — a :class:`ServingRuntime` built with
+   ``metrics=NULL_REGISTRY`` (1 worker: this gate must hold on a single
+   core, where the win comes from batch amortisation, not parallelism)
+   with pipelined callers; best of ``ROUNDS`` passes.  Gated:
    ``batched_qps >= REPRO_SERVER_MIN_SPEEDUP (2.0) * sequential_qps``.
-3. **Mixed traffic** — the same query load with concurrent ingest waves
-   arriving through ``submit_ingest`` (background compaction/publication
-   included, forcing mid-run replica refreshes).  Gated much softer:
-   ``REPRO_SERVER_MIN_MIXED_SPEEDUP (0.5)`` — on one core every mid-run
-   publish snapshots the whole index, so this gate guards against
-   collapse/deadlock under writes, not for a speedup.
+3. **Batched, metrics on** — the identical load against a runtime with the
+   default live registry (queue-wait/service histograms, shared engine
+   cache/backend instruments, the lot).  Gated: the instrumented runtime
+   keeps at least ``1 - REPRO_OBS_MAX_OVERHEAD (0.05)`` of the
+   uninstrumented QPS.
+4. **Mixed traffic** — the same query load on the instrumented runtime
+   with concurrent ingest waves arriving through ``submit_ingest``
+   (background compaction/publication included, forcing mid-run replica
+   refreshes).  Gated much softer: ``REPRO_SERVER_MIN_MIXED_SPEEDUP
+   (0.5)`` — on one core every mid-run publish snapshots the whole index,
+   so this gate guards against collapse/deadlock under writes, not for a
+   speedup.  Afterwards ``runtime.metrics()`` must report the live load:
+   non-zero QPS, batch occupancy, cache hit rate, per-backend latency
+   counts and a non-zero ingest-lag peak.
 
 QPS plus p50/p99 caller latency of every phase land in
-``benchmark.extra_info`` (the pytest-benchmark JSON artefact in CI).
+``benchmark.extra_info`` (the pytest-benchmark JSON artefact in CI), which
+the session-level trajectory hook folds into ``BENCH_pr9.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.api import Engine, EngineConfig, QueryRequest
+from repro.obs import NULL_REGISTRY
 from repro.server import ServerConfig, ServingRuntime
 from repro.trajectory import Trajectory
 
@@ -117,26 +131,39 @@ def test_server_load_batched_vs_sequential(benchmark, once):
         publish_every_groups=1,
         poll_interval=0.01,
     )
-    runtime = ServingRuntime(engine, config)
-    with runtime:
-        # Warm-up: force the worker's first replica restore (a one-off
-        # snapshot-load) out of every timed window.
+
+    def warm_up(runtime: ServingRuntime, shift: float) -> None:
+        # Force the worker's first replica restore (a one-off snapshot-load)
+        # out of every timed window; shifted queries stay out of the cache.
         warmup = [
-            runtime.submit(QueryRequest(queries=queries[i : i + 1] + 100.0, k=K))
+            runtime.submit(QueryRequest(queries=queries[i : i + 1] + shift, k=K))
             for i in range(MAX_BATCH)
         ]
         for future in warmup:
             future.result(timeout=120)
 
-        # --- Phase 2 (the gate): batched pure-query traffic. ---------------
-        batched_seconds, batched_latencies = np.inf, None
+    def best_of_rounds(runtime: ServingRuntime) -> tuple[float, np.ndarray]:
+        best_seconds, best_latencies = np.inf, None
         for _ in range(ROUNDS):
             wall, latencies = run_callers(runtime, requests)
-            if wall < batched_seconds:
-                batched_seconds, batched_latencies = wall, latencies
-        batched_qps = NUM_QUERIES / batched_seconds
+            if wall < best_seconds:
+                best_seconds, best_latencies = wall, latencies
+        return best_seconds, best_latencies
 
-        # --- Phase 3: mixed ingest+query traffic. --------------------------
+    # --- Phase 2 (the batching gate): metrics off. -------------------------
+    with ServingRuntime(engine, config, metrics=NULL_REGISTRY) as runtime:
+        warm_up(runtime, shift=100.0)
+        batched_seconds, batched_latencies = best_of_rounds(runtime)
+    batched_qps = NUM_QUERIES / batched_seconds
+
+    # --- Phase 3 (the overhead gate): the same load, metrics on. -----------
+    runtime = ServingRuntime(engine, config)
+    with runtime:
+        warm_up(runtime, shift=200.0)
+        instrumented_seconds, _ = best_of_rounds(runtime)
+        instrumented_qps = NUM_QUERIES / instrumented_seconds
+
+        # --- Phase 4: mixed ingest+query traffic (still instrumented). -----
         def ingest_traffic():
             for wave in range(INGEST_WAVES):
                 runtime.submit_ingest(
@@ -149,8 +176,13 @@ def test_server_load_batched_vs_sequential(benchmark, once):
             mixed_seconds, mixed_latencies = run_callers(runtime, requests)
             ingest_job.result(timeout=120)
         mixed_qps = NUM_QUERIES / mixed_seconds
+        # A short hot pass so the snapshot shows the cache doing its job.
+        hot = QueryRequest(queries=queries[:1], k=K)
+        for _ in range(32):
+            runtime.query(hot, timeout=120)
         runtime.flush_ingest()  # every submitted wave lands before we assert
         stats = runtime.stats()
+        metrics_snapshot = runtime.metrics()
 
     # The serving promise: batching amortises per-query overhead >= 2x even
     # on one core (override the floor via REPRO_SERVER_MIN_SPEEDUP).
@@ -159,6 +191,14 @@ def test_server_load_batched_vs_sequential(benchmark, once):
     assert speedup >= floor, (
         f"batched {batched_qps:.0f} qps is only {speedup:.2f}x the sequential "
         f"{sequential_qps:.0f} qps (floor {floor}x)"
+    )
+    # The observability promise: a live registry on the hot path costs at
+    # most REPRO_OBS_MAX_OVERHEAD (5%) of the uninstrumented QPS.
+    max_overhead = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "0.05"))
+    overhead = 1.0 - instrumented_qps / batched_qps
+    assert instrumented_qps >= (1.0 - max_overhead) * batched_qps, (
+        f"instrumented {instrumented_qps:.0f} qps loses {overhead:.1%} vs the "
+        f"uninstrumented {batched_qps:.0f} qps (budget {max_overhead:.0%})"
     )
     # Softer floor: queries must keep flowing while publishes snapshot the
     # index mid-run, but on one core that write work is real lost QPS.
@@ -173,16 +213,39 @@ def test_server_load_batched_vs_sequential(benchmark, once):
     assert len(engine) == ROWS + INGEST_WAVES * WAVE_SIZE
     assert stats["publishes"] >= 2  # fresh generations were published mid-run
 
+    # The snapshot reports the load it just served (the PR 9 acceptance bar).
+    slo = metrics_snapshot["slo"]
+    families = metrics_snapshot["metrics"]
+    assert slo["qps"] > 0
+    assert slo["mean_batch_occupancy"] > 0
+    assert slo["cache_hit_rate"] > 0  # the hot pass hit the query cache
+    backend_series = [
+        series
+        for series in families["engine_query_seconds"]["series"]
+        if series["labels"]["backend"] == "chunked" and series["count"] > 0
+    ]
+    assert backend_series, "per-backend latency histogram recorded no scans"
+    assert slo["ingest_lag_records_peak"] > 0  # waves were seen queued mid-run
+    assert families["server_ingested_records_total"]["series"][0]["value"] == (
+        INGEST_WAVES * WAVE_SIZE
+    )
+
     p50, p99 = percentiles_ms(batched_latencies)
     mixed_p50, mixed_p99 = percentiles_ms(mixed_latencies)
     print(
         f"\nserver load @ {ROWS} rows x {DIM}d, {NUM_QUERIES} queries, k={K}\n"
-        f"  sequential : {sequential_qps:8.0f} qps\n"
-        f"  batched    : {batched_qps:8.0f} qps  ({speedup:.2f}x)  "
+        f"  sequential   : {sequential_qps:8.0f} qps\n"
+        f"  batched (off): {batched_qps:8.0f} qps  ({speedup:.2f}x)  "
         f"p50={p50:.1f}ms p99={p99:.1f}ms\n"
-        f"  mixed      : {mixed_qps:8.0f} qps  ({mixed_speedup:.2f}x)  "
+        f"  batched (on) : {instrumented_qps:8.0f} qps  "
+        f"(obs overhead {overhead:+.1%}, budget {max_overhead:.0%})\n"
+        f"  mixed        : {mixed_qps:8.0f} qps  ({mixed_speedup:.2f}x)  "
         f"p50={mixed_p50:.1f}ms p99={mixed_p99:.1f}ms  "
-        f"(+{INGEST_WAVES * WAVE_SIZE} rows, {stats['publishes']} publishes)"
+        f"(+{INGEST_WAVES * WAVE_SIZE} rows, {stats['publishes']} publishes)\n"
+        f"  slo          : qps={slo['qps']:.0f} "
+        f"hit_rate={slo['cache_hit_rate']:.2f} "
+        f"queue_p99={slo['queue_wait_p99_ms']:.1f}ms "
+        f"lag_peak={slo['ingest_lag_records_peak']:.0f} records"
     )
 
     once(benchmark, lambda: engine.query_many(requests, coalesce="fused"))
@@ -199,3 +262,9 @@ def test_server_load_batched_vs_sequential(benchmark, once):
     benchmark.extra_info["mixed_p99_ms"] = mixed_p99
     benchmark.extra_info["publishes"] = stats["publishes"]
     benchmark.extra_info["mean_batch_occupancy"] = stats["mean_occupancy"]
+    benchmark.extra_info["instrumented_qps"] = instrumented_qps
+    benchmark.extra_info["obs_overhead_frac"] = overhead
+    benchmark.extra_info["obs_qps"] = slo["qps"]
+    benchmark.extra_info["obs_cache_hit_rate"] = slo["cache_hit_rate"]
+    benchmark.extra_info["obs_queue_wait_p99_ms"] = slo["queue_wait_p99_ms"]
+    benchmark.extra_info["obs_ingest_lag_records_peak"] = slo["ingest_lag_records_peak"]

@@ -14,7 +14,11 @@ finishes in seconds):
    throughput plus p50/p99 caller latency;
 3. checkpoint to disk, then shut down via a real ``SIGTERM`` — the signal
    handler drains every in-flight query and commits a final checkpoint, so
-   a restart (shown last) resumes from exactly the pre-kill state.
+   a restart (shown last) resumes from exactly the pre-kill state;
+4. print the :meth:`~repro.server.ServingRuntime.metrics` snapshot the
+   runtime collected while serving (QPS, cache hit rate, queue-wait
+   percentiles, ingest lag) and dump it as JSON — to
+   ``$REPRO_METRICS_SNAPSHOT`` when set, else into the demo workdir.
 
 Run:  python examples/serving_runtime.py
 """
@@ -31,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import Engine, EngineConfig, QueryRequest
+from repro.obs import format_snapshot
 from repro.server import ServerConfig, ServingRuntime
 from repro.trajectory import Trajectory
 from repro.utils.seeding import seed_everything
@@ -132,6 +137,17 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     os.kill(os.getpid(), signal.SIGTERM)
     print(f"runtime closed: {runtime.closed}")
+
+    # ------------------------------------------------------------------ #
+    # 4. What the runtime saw: the metrics snapshot it collected.
+    # ------------------------------------------------------------------ #
+    snapshot_path = Path(
+        os.environ.get("REPRO_METRICS_SNAPSHOT", workdir / "metrics_snapshot.json")
+    )
+    runtime.dump_metrics(snapshot_path)
+    print()
+    print(format_snapshot(runtime.metrics()))
+    print(f"metrics snapshot written to {snapshot_path}")
 
     probe = QueryRequest(queries=queries[:1], k=K)
     expected = engine.query(probe)

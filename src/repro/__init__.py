@@ -37,6 +37,9 @@ Sub-packages
 ``repro.server``
     Concurrent serving runtime: batch aggregation, replica query workers,
     background stream ingest, checkpoint/restart.
+``repro.obs``
+    Observability: metrics registry (counters/gauges/histograms), SLO
+    snapshots, optional process CPU/RSS monitor.
 ``repro.eval``
     Metrics and downstream-task evaluation harnesses.
 ``repro.experiments``
@@ -61,6 +64,7 @@ _SUBPACKAGES = frozenset(
         "eval",
         "experiments",
         "nn",
+        "obs",
         "roadnet",
         "server",
         "serving",

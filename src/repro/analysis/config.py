@@ -35,7 +35,7 @@ class RaceConfig:
     guarded; ``exempt_methods`` run before an instance can be shared.
     """
 
-    thread_paths: tuple[str, ...] = ("server/", "streaming/")
+    thread_paths: tuple[str, ...] = ("obs/", "server/", "streaming/")
     shared_marker: str = "# thread: shared"
     locked_suffixes: tuple[str, ...] = ("_locked",)
     exempt_methods: tuple[str, ...] = ("__init__", "__new__", "__post_init__")

@@ -37,11 +37,18 @@ from repro.core.config import StartConfig
 from repro.core.model import STARTModel
 from repro.core.pretraining import Pretrainer
 from repro.nn.serialization import load_checkpoint, read_metadata, save_checkpoint
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
 from repro.serving.index import DEFAULT_DATABASE_CHUNK, DEFAULT_QUERY_CHUNK, as_float32_matrix
 from repro.serving.store import DEFAULT_ENCODE_BATCH, EmbeddingStore
 from repro.streaming.reader import TrajectoryStreamReader
 from repro.streaming.service import DEFAULT_QUERY_CACHE_SIZE, _LRUCache
 from repro.streaming.shards import DEFAULT_SHARD_CAPACITY
+from repro.utils.clock import Clock, SystemClock
 
 #: Bump when the engine snapshot layout changes; readers refuse newer formats.
 SNAPSHOT_FORMAT_VERSION = 1
@@ -108,7 +115,14 @@ class Engine:
     must never be served against queries encoded by the new ones.
     """
 
-    def __init__(self, encoder, config: EngineConfig | None = None) -> None:
+    def __init__(
+        self,
+        encoder,
+        config: EngineConfig | None = None,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        clock: Clock | None = None,
+    ) -> None:
         if encoder is None:
             raise ValueError("Engine requires an encoder (model or callable)")
         self.config = config or EngineConfig()
@@ -120,6 +134,45 @@ class Engine:
         self._cache = _LRUCache(self.config.cache_size)
         self._trajectory_ids: dict[int, int] = {}
         self._encode_calls = 0
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self.bind_metrics(metrics)
+
+    def bind_metrics(
+        self, metrics: "MetricsRegistry | None" = None, *, clock: Clock | None = None
+    ) -> None:
+        """(Re-)attach a metrics registry; ``None`` detaches to the no-op default.
+
+        Resolves every instrument handle once, so the query/encode hot paths
+        pay method calls on pre-bound children, never registry lookups.  The
+        serving runtime calls this to pull a user-constructed engine into its
+        own registry (and clock) when the engine was built without one.
+        """
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        if clock is not None:
+            self._clock = clock
+        cache = self._metrics.counter_family(
+            "engine_cache_requests_total",
+            "query-cache lookups by result",
+            labels=("result",),
+        )
+        self._m_cache_hits = cache.labels(result="hit")
+        self._m_cache_misses = cache.labels(result="miss")
+        self._m_encode_batch = self._metrics.histogram(
+            "engine_encode_batch_size",
+            "trajectories per underlying encoder call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_query_latency = self._metrics.histogram_family(
+            "engine_query_seconds",
+            "index top_k scan latency by backend",
+            labels=("backend",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).labels(backend=self.config.backend)
+
+    @property
+    def metrics_registry(self) -> "MetricsRegistry":
+        """The registry this engine reports into (the no-op one by default)."""
+        return self._metrics
 
     # ------------------------------------------------------------------ #
     # Construction / lifecycle
@@ -260,6 +313,7 @@ class Engine:
     # ------------------------------------------------------------------ #
     def _counted_encode(self, batch: list) -> np.ndarray:
         self._encode_calls += 1
+        self._m_encode_batch.observe(len(batch))
         return self._encode_fn(batch)
 
     def encode(self, request: "EncodeRequest | Sequence") -> np.ndarray:
@@ -371,6 +425,19 @@ class Engine:
             return as_float32_matrix(queries, "queries")
         return self.encode(queries)
 
+    def _timed_top_k(self, vectors: np.ndarray, k: int):
+        """One backend scan, timed into the per-backend latency histogram.
+
+        The clock read is gated on registry enablement so the disabled
+        default pays exactly one attribute check per scan.
+        """
+        if not self._metrics.enabled:
+            return self._backend.top_k(vectors, k)
+        started = self._clock.monotonic()
+        result = self._backend.top_k(vectors, k)
+        self._m_query_latency.observe(self._clock.monotonic() - started)
+        return result
+
     def query(self, request: "QueryRequest | np.ndarray", k: int | None = None) -> QueryResponse:
         """Top-k most-similar rows for each query; served through the cache.
 
@@ -390,8 +457,10 @@ class Engine:
         key = (self._backend.generation, vectors.shape, int(k), digest)
         cached = self._cache.get(key)
         if cached is not None:
+            self._m_cache_hits.inc()
             return cached
-        result = self._backend.top_k(vectors, k)
+        self._m_cache_misses.inc()
+        result = self._timed_top_k(vectors, k)
         response = QueryResponse(
             ids=result.indices,
             distances=result.distances,
@@ -451,15 +520,17 @@ class Engine:
             key = (self._backend.generation, vectors.shape, int(request.k), digest)
             cached = self._cache.get(key)
             if cached is not None:
+                self._m_cache_hits.inc()
                 responses[position] = cached
             else:
+                self._m_cache_misses.inc()
                 misses.setdefault(int(request.k), []).append((position, vectors, key))
         for k, group in misses.items():
             if len(group) == 1:
                 stacked = group[0][1]
             else:
                 stacked = np.concatenate([vectors for _, vectors, _ in group], axis=0)
-            result = self._backend.top_k(stacked, k)
+            result = self._timed_top_k(stacked, k)
             row = 0
             for position, vectors, key in group:
                 rows = vectors.shape[0]
@@ -555,14 +626,28 @@ class Engine:
             tmp = tempfile.TemporaryDirectory(prefix="repro-engine-replica-")
             directory = tmp.name
         self.snapshot(directory)
-        replica = Engine.restore(directory, encoder if encoder is not None else self.model)
+        # Replicas report into this engine's registry: their counters are
+        # this engine's traffic, just answered from another thread's copy.
+        metrics = self._metrics if self._metrics.enabled else None
+        replica = Engine.restore(
+            directory,
+            encoder if encoder is not None else self.model,
+            metrics=metrics,
+            clock=self._clock,
+        )
         if tmp is not None:
             replica._replica_tmpdir = tmp
         return replica
 
     @classmethod
     def restore(
-        cls, directory: str | Path, encoder, config: EngineConfig | None = None
+        cls,
+        directory: str | Path,
+        encoder,
+        config: EngineConfig | None = None,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        clock: Clock | None = None,
     ) -> "Engine":
         """Rebuild an engine's index from a :meth:`snapshot` directory.
 
@@ -604,7 +689,7 @@ class Engine:
                 database_chunk_size=int(manifest["database_chunk_size"]),
                 backend_params=manifest.get("backend_params") or None,
             )
-        engine = cls(encoder, config)
+        engine = cls(encoder, config, metrics=metrics, clock=clock)
         # Backends with tombstone support replay the exact original layout
         # (add everything, then re-remove — bit-identical to the source);
         # append-only backends get the dead rows filtered out up front, so a

@@ -1,0 +1,583 @@
+"""Thread-safe, dependency-free metrics: counters, gauges, histograms.
+
+A server nobody can watch cannot claim production scale.  This module is
+the measurement substrate of the serving stack: a :class:`MetricsRegistry`
+that owns named metric families (plain or labeled), three instrument kinds
+(:class:`Counter`, :class:`Gauge`, fixed-bucket :class:`Histogram`), a
+deterministic :meth:`MetricsRegistry.snapshot` with a versioned schema, and
+an atomic :func:`dump_metrics` JSON writer.
+
+Design rules, all load-bearing:
+
+* **No wall-clock reads in record paths.**  Instruments record what callers
+  hand them; durations are measured by the caller against the injectable
+  :class:`repro.utils.clock.Clock` it already owns.  That keeps every
+  record path drivable by a :class:`~repro.utils.clock.VirtualClock` and
+  keeps this module out of the determinism lint's wall-clock business.
+* **Explicit histogram buckets.**  Bounds are fixed at registration, so two
+  snapshots of the same traffic are structurally identical — the perf
+  trajectory (``BENCH_*.json``) can be diffed across PRs without bucket
+  drift.  A value lands in the first bucket whose upper bound it does not
+  exceed (``value <= bound``); values above the last bound land in the
+  overflow count.
+* **Frozen label keys.**  A labeled family keys its children by the tuple
+  of label *values* in label-name order; the tuple is the identity, so the
+  same labels always return the same child object — instrument handles can
+  be resolved once at construction time and shared freely across threads.
+* **Every mutation under a lock.**  Instruments carry their own
+  :class:`threading.Lock`; the registry and families lock their structure
+  maps.  The race lint (``race-*``) covers this package.
+* **One branch when disabled.**  :data:`NULL_REGISTRY` hands out no-op
+  instruments whose record methods are ``pass``; code paths that must pay
+  nothing extra gate their timing reads on :attr:`MetricsRegistry.enabled`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Bump when the snapshot layout changes; consumers refuse newer schemas.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Schema identifier embedded in every snapshot.
+SNAPSHOT_SCHEMA = "repro.obs/v1"
+
+#: Default latency buckets (seconds): 100us to 10s, roughly 1-2.5-5 spaced.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default size buckets (counts): powers of two up to 4096.
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0)
+
+
+class Counter:
+    """A monotonically increasing total (queries served, bytes read, ...)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters only ever go up)."""
+        if amount < 0:
+            raise ValueError("counters cannot decrease; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _series(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, ingest lag, RSS, ...).
+
+    Alongside the current value the gauge tracks its **peak** (the largest
+    value ever set), so an SLO snapshot taken after a burst has drained
+    still shows how deep the burst got.
+    """
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._peak = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if self._value > self._peak:
+                self._peak = self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            if self._value > self._peak:
+                self._peak = self._value
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> float:
+        with self._lock:
+            return self._peak
+
+    def _series(self) -> dict:
+        with self._lock:
+            return {"value": self._value, "peak": self._peak}
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    ``bounds`` are the explicit, strictly increasing upper bucket bounds
+    fixed at registration; an observation lands in the first bucket whose
+    bound it does not exceed, or in the overflow count when it exceeds the
+    last bound.  Exact-bound observations belong to their bound's bucket
+    (``value <= bound``).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (overflow is implicit)")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * len(bounds)
+        self._overflow = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self._bucket_index(value)
+        with self._lock:
+            if index is None:
+                self._overflow += 1
+            else:
+                self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    def _bucket_index(self, value: float) -> int | None:
+        """First bucket whose bound ``value`` does not exceed (binary search)."""
+        bounds = self.bounds
+        if value > bounds[-1]:
+            return None
+        lo, hi = 0, len(bounds) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        Walks the cumulative counts to the bucket holding the ``q``-th
+        observation and interpolates linearly inside it (the first bucket
+        interpolates from 0, the overflow bucket reports the last bound —
+        there is no upper edge to interpolate toward).  An estimate, not an
+        order statistic: its resolution is the bucket width.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            cumulative = 0
+            for bound, count in zip(self.bounds, self._counts):
+                previous = cumulative
+                cumulative += count
+                if cumulative >= rank and count:
+                    lower = 0.0 if bound == self.bounds[0] else self.bounds[self._bucket_below(bound)]
+                    fraction = (rank - previous) / count
+                    return lower + fraction * (bound - lower)
+            return self.bounds[-1]
+
+    def _bucket_below(self, bound: float) -> int:
+        return self.bounds.index(bound) - 1
+
+    def _series(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "bucket_counts": list(self._counts),
+                "overflow": self._overflow,
+            }
+
+
+#: Instrument classes by kind name (used by the registry's family factory).
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric: label names plus a child instrument per label tuple.
+
+    Children are keyed by the frozen tuple of label *values* in label-name
+    order and created on first use; :meth:`labels` with the same values
+    always returns the same child object, so handles can be resolved once
+    and cached.  An unlabeled family owns exactly one child, reachable by
+    :meth:`labels` with no arguments (the registry's ``counter``/``gauge``/
+    ``histogram`` helpers return that child directly).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(float(b) for b in buckets) if buckets is not None else None
+        if kind == "histogram" and self.buckets is None:
+            raise ValueError("histogram families need explicit bucket bounds")
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **label_values: str) -> "Counter | Gauge | Histogram":
+        """The child instrument for these label values (created on first use)."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"metric '{self.name}' takes labels {list(self.label_names)}, "
+                f"got {sorted(label_values)}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self.buckets)
+                else:
+                    child = _INSTRUMENTS[self.kind]()
+                self._children[key] = child
+            return child
+
+    def _snapshot(self) -> dict:
+        with self._lock:
+            children = sorted(self._children.items())
+        series = [
+            {"labels": dict(zip(self.label_names, key)), **child._series()}
+            for key, child in children
+        ]
+        family: dict = {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "series": series,
+        }
+        if self.buckets is not None:
+            family["buckets"] = list(self.buckets)
+        return family
+
+
+class MetricsRegistry:  # thread: shared
+    """The named-metric namespace every instrumented layer reports into.
+
+    Registration is get-or-create: asking for an existing name with the
+    same kind, label names and buckets returns the existing family (this is
+    what lets replica engines and the runtime share one set of children);
+    asking with a conflicting shape raises ``ValueError`` — one name, one
+    meaning.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- registration -------------------------------------------------- #
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        if not name or not isinstance(name, str):
+            raise ValueError("metric name must be a non-empty string")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, label_names, buckets)
+                self._families[name] = family
+                return family
+        requested_buckets = tuple(float(b) for b in buckets) if buckets is not None else None
+        if (
+            family.kind != kind
+            or family.label_names != tuple(label_names)
+            or family.buckets != requested_buckets
+        ):
+            raise ValueError(
+                f"metric '{name}' is already registered as a {family.kind} with "
+                f"labels {list(family.label_names)} — one name, one meaning"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get-or-create an unlabeled counter."""
+        return self._family(name, "counter", help, ()).labels()
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get-or-create an unlabeled gauge."""
+        return self._family(name, "gauge", help, ()).labels()
+
+    def histogram(
+        self, name: str, help: str = "", *, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """Get-or-create an unlabeled fixed-bucket histogram."""
+        return self._family(name, "histogram", help, (), buckets).labels()
+
+    def counter_family(self, name: str, help: str = "", *, labels: Sequence[str]) -> MetricFamily:
+        """Get-or-create a labeled counter family."""
+        return self._family(name, "counter", help, labels)
+
+    def gauge_family(self, name: str, help: str = "", *, labels: Sequence[str]) -> MetricFamily:
+        """Get-or-create a labeled gauge family."""
+        return self._family(name, "gauge", help, labels)
+
+    def histogram_family(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        """Get-or-create a labeled fixed-bucket histogram family."""
+        return self._family(name, "histogram", help, labels, buckets)
+
+    # -- introspection ------------------------------------------------- #
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def snapshot(self) -> dict:
+        """A plain-dict dump of every family, deterministic in structure.
+
+        Metric names are sorted and each family's series are sorted by
+        label-value tuple, so two snapshots of the same recorded traffic
+        are byte-identical after JSON serialisation.
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "metrics": {name: family._snapshot() for name, family in families},
+        }
+
+
+class _NullInstrument:
+    """The do-nothing counter/gauge/histogram handed out when metrics are off.
+
+    Every record method is a ``pass`` and every read reports zero, so
+    instrumented code can hold one of these and never branch on enablement
+    (except to skip the clock reads that would feed it).
+    """
+
+    bounds: tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **label_values: str) -> "_NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def peak(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def mean(self) -> float:
+        return 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+class NullRegistry:
+    """The disabled registry: every lookup returns the shared no-op instrument.
+
+    ``enabled`` is ``False`` so hot paths can skip the clock reads that only
+    exist to feed instruments; everything else is safe to call and free.
+    """
+
+    enabled = False
+
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return self._instrument
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return self._instrument
+
+    def histogram(self, name: str, help: str = "", *, buckets=DEFAULT_LATENCY_BUCKETS) -> _NullInstrument:
+        return self._instrument
+
+    def counter_family(self, name: str, help: str = "", *, labels=()) -> _NullInstrument:
+        return self._instrument
+
+    def gauge_family(self, name: str, help: str = "", *, labels=()) -> _NullInstrument:
+        return self._instrument
+
+    def histogram_family(
+        self, name: str, help: str = "", *, labels=(), buckets=DEFAULT_LATENCY_BUCKETS
+    ) -> _NullInstrument:
+        return self._instrument
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "metrics": {},
+        }
+
+
+#: The shared disabled registry: the default for every instrumented constructor.
+NULL_REGISTRY = NullRegistry()
+
+
+def dump_metrics(path: str | Path, snapshot: Mapping) -> Path:
+    """Atomically write ``snapshot`` (any JSON-serialisable mapping) to ``path``.
+
+    The same tmp + fsync + ``os.replace`` commit the checkpointer uses: a
+    reader (or a crash) never sees a half-written file — ``path`` is either
+    wholly old or wholly new.  Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def format_snapshot(snapshot: Mapping) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as an aligned text table.
+
+    Counters and gauges print one line per series; histograms print count,
+    sum and the estimated p50/p99 recomputed from the bucket counts.  Used
+    by ``examples/serving_runtime.py`` to print the shutdown snapshot.
+    """
+    lines: list[str] = [f"metrics snapshot ({snapshot.get('schema', '?')})"]
+    metrics = snapshot.get("metrics", {})
+    if not metrics:
+        lines.append("  (no metrics recorded)")
+    width = max((len(name) for name in metrics), default=0)
+    for name in sorted(metrics):
+        family = metrics[name]
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if family["type"] == "histogram":
+                bounds = family.get("buckets", [])
+                detail = (
+                    f"count={series['count']} sum={series['sum']:.6g} "
+                    f"p50~{_series_quantile(bounds, series, 0.5):.6g} "
+                    f"p99~{_series_quantile(bounds, series, 0.99):.6g}"
+                )
+            elif family["type"] == "gauge":
+                detail = f"{series['value']:.6g} (peak {series['peak']:.6g})"
+            else:
+                detail = f"{series['value']:.6g}"
+            lines.append(f"  {name:<{width}} {label_text:<24} {detail}")
+    if "slo" in snapshot:
+        lines.append("  --- slo ---")
+        for key in sorted(snapshot["slo"]):
+            value = snapshot["slo"][key]
+            text = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {key:<{width}} {'':<24} {text}")
+    return "\n".join(lines)
+
+
+def _series_quantile(bounds: Sequence[float], series: Mapping, q: float) -> float:
+    """Quantile estimate from a snapshot histogram series (same math as live)."""
+    histogram = Histogram(bounds) if bounds else None
+    if histogram is None:
+        return 0.0
+    histogram._counts = list(series.get("bucket_counts", [0] * len(bounds)))
+    histogram._overflow = int(series.get("overflow", 0))
+    histogram._count = int(series.get("count", 0))
+    histogram._sum = float(series.get("sum", 0.0))
+    return histogram.quantile(q)

@@ -1,0 +1,124 @@
+"""Optional process sampling: CPU seconds and RSS bytes into the registry.
+
+:class:`SystemMonitor` runs one daemon thread that samples a process-level
+*sampler* every ``interval`` clock seconds and publishes the readings as
+gauges.  Two injection points keep it deterministic and dependency-free:
+
+* the **sampler** is any callable returning ``(cpu_seconds, rss_bytes)``;
+  the default reads :func:`resource.getrusage` (stdlib, no psutil);
+* the **clock** is a :class:`repro.utils.clock.Clock` — under a
+  :class:`~repro.utils.clock.VirtualClock` the thread wakes exactly when a
+  test advances virtual time, so the lifecycle test needs no sleeps.
+
+The monitor takes one sample synchronously in :meth:`start` (so a snapshot
+is never empty while the monitor runs) and one thread-loop sample per
+interval after that.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import threading
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.utils.clock import Clock, SystemClock
+
+#: Default sampling cadence (clock seconds).
+DEFAULT_SAMPLE_INTERVAL = 1.0
+
+
+def default_process_sampler() -> tuple[float, float]:
+    """``(cpu_seconds, rss_bytes)`` of this process, from stdlib ``resource``.
+
+    CPU is user + system time; RSS is ``ru_maxrss`` — the *peak* resident
+    set, which is what the stdlib can report portably (kilobytes on Linux,
+    bytes on macOS).
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    cpu_seconds = usage.ru_utime + usage.ru_stime
+    scale = 1 if sys.platform == "darwin" else 1024
+    return cpu_seconds, float(usage.ru_maxrss * scale)
+
+
+class SystemMonitor:  # thread: shared
+    """Background CPU/RSS sampling into three process-level metrics.
+
+    Publishes ``process_cpu_seconds`` (gauge: cumulative CPU time at the
+    last sample), ``process_rss_bytes`` (gauge: resident set at the last
+    sample) and ``process_samples_total`` (counter).  Use as a context
+    manager, or call :meth:`start` / :meth:`stop` explicitly; both are
+    idempotent.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry | NullRegistry",
+        *,
+        interval: float = DEFAULT_SAMPLE_INTERVAL,
+        sampler: Callable[[], tuple[float, float]] | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.interval = float(interval)
+        self._sampler = sampler if sampler is not None else default_process_sampler
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._stop = self._clock.make_event()
+        self._thread: threading.Thread | None = None
+        self._cpu = registry.gauge(
+            "process_cpu_seconds", "cumulative process CPU (user+system) at last sample"
+        )
+        self._rss = registry.gauge("process_rss_bytes", "resident set size at last sample")
+        self._samples = registry.counter("process_samples_total", "monitor samples taken")
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._thread is not None
+
+    def sample_once(self) -> tuple[float, float]:
+        """Take one sample on the calling thread; returns ``(cpu, rss)``."""
+        cpu_seconds, rss_bytes = self._sampler()
+        self._cpu.set(cpu_seconds)
+        self._rss.set(rss_bytes)
+        self._samples.inc()
+        return cpu_seconds, rss_bytes
+
+    def start(self) -> "SystemMonitor":
+        """Sample once, then start the periodic sampler thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._run, name="repro-obs-monitor", daemon=True
+            )
+            self._thread = thread
+        self.sample_once()
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop and join the sampler thread (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+
+    def __enter__(self) -> "SystemMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while True:
+            if self._clock.wait(self._stop, timeout=self.interval):
+                return
+            self.sample_once()

@@ -60,6 +60,13 @@ import numpy as np
 
 from repro.api.engine import Engine, EngineConfig
 from repro.api.types import QueryRequest, QueryResponse
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.metrics import dump_metrics as _dump_metrics
 from repro.server.aggregator import BatchAggregator, PendingQuery
 from repro.server.checkpoint import Checkpointer
 from repro.server.config import KillWorker, ServerClosed, ServerConfig, ServerHooks
@@ -118,7 +125,15 @@ class _QueryWorker(threading.Thread):
     def _refresh_replica(self) -> None:
         generation, directory = self.runtime._published
         if generation != self.replica_generation:
-            self.replica = Engine.restore(directory, self.runtime.primary.model)
+            # Replicas report into the runtime's registry: the serving path
+            # (cache hits, backend scans) runs here, not on the primary.
+            registry = self.runtime._metrics_registry
+            self.replica = Engine.restore(
+                directory,
+                self.runtime.primary.model,
+                metrics=registry if registry.enabled else None,
+                clock=self.runtime._clock,
+            )
             self.replica_generation = generation
 
 
@@ -144,6 +159,7 @@ class ServingRuntime:
         hooks: ServerHooks | None = None,
         clock: Clock | None = None,
         replica_dir: str | Path | None = None,
+        metrics: "MetricsRegistry | NullRegistry | None" = None,
     ) -> None:
         self.primary = engine
         self.config = config or ServerConfig()
@@ -198,6 +214,72 @@ class ServingRuntime:
         self._respawns = 0
         self._publishes = 0
         self._checkpoints = 0
+        # Observability: the server defaults to a live registry (pass
+        # ``NULL_REGISTRY`` to opt out); an engine that already carries a
+        # live registry keeps it, otherwise the primary is bound to ours so
+        # encode/cache/backend metrics land in the same snapshot.
+        if metrics is not None:
+            self._metrics_registry = metrics
+        elif engine.metrics_registry.enabled:
+            self._metrics_registry = engine.metrics_registry
+        else:
+            self._metrics_registry = MetricsRegistry()
+        if self._metrics_registry.enabled and not engine.metrics_registry.enabled:
+            engine.bind_metrics(self._metrics_registry, clock=self._clock)
+        registry = self._metrics_registry
+        self._m_queries = registry.counter("server_queries_total", "queries answered")
+        self._m_batches = registry.counter("server_batches_total", "batches executed")
+        self._m_occupancy = registry.histogram(
+            "server_batch_occupancy", "queries per released batch", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self._m_queue_wait = registry.histogram(
+            "server_queue_wait_seconds",
+            "submit-to-execution wait per query",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_service = registry.histogram(
+            "server_batch_service_seconds",
+            "encode + scan service time per batch",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_worker_deaths = registry.counter(
+            "server_worker_deaths_total", "query workers killed"
+        )
+        self._m_worker_respawns = registry.counter(
+            "server_worker_respawns_total", "query workers respawned"
+        )
+        self._m_publishes = registry.counter(
+            "server_publishes_total", "replica generations published"
+        )
+        self._m_checkpoints = registry.counter(
+            "server_checkpoints_total", "checkpoints committed"
+        )
+        self._m_checkpoint_latency = registry.histogram(
+            "server_checkpoint_seconds",
+            "checkpoint commit latency",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_ingested_records = registry.counter(
+            "server_ingested_records_total", "records ingested (waves + stream)"
+        )
+        self._m_ingested_waves = registry.counter(
+            "server_ingested_waves_total", "direct ingest waves applied"
+        )
+        self._m_stream_bytes = registry.counter(
+            "server_stream_bytes_total", "stream bytes consumed"
+        )
+        self._m_lag_records = registry.gauge(
+            "server_ingest_lag_records", "records accepted but not yet ingested"
+        )
+        self._m_lag_bytes = registry.gauge(
+            "server_ingest_lag_bytes", "stream bytes on disk not yet consumed"
+        )
+        cache = registry.counter_family(
+            "engine_cache_requests_total", "query-cache lookups by result", labels=("result",)
+        )
+        self._m_cache_hits = cache.labels(result="hit")
+        self._m_cache_misses = cache.labels(result="miss")
+        self._started_at: float | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -210,6 +292,7 @@ class ServingRuntime:
             if self._started:
                 return self
             self._started = True
+            self._started_at = self._clock.monotonic()
         with self._ingest_lock:
             self._publish_locked()
         self._aggregator.start()
@@ -277,6 +360,7 @@ class ServingRuntime:
         stream_path: str | Path | None = None,
         hooks: ServerHooks | None = None,
         clock: Clock | None = None,
+        metrics: "MetricsRegistry | NullRegistry | None" = None,
     ) -> "ServingRuntime":
         """Rebuild a runtime from its last committed checkpoint (lossless restart).
 
@@ -290,7 +374,7 @@ class ServingRuntime:
             checkpoint_dir, encoder, engine_config=engine_config
         )
         config = (config or ServerConfig()).variant(checkpoint_dir=checkpoint_dir)
-        runtime = cls(engine, config, hooks=hooks, clock=clock)
+        runtime = cls(engine, config, hooks=hooks, clock=clock, metrics=metrics)
         runtime._generation = int(manifest["generation"])
         runtime._ingested_records = int(manifest.get("ingested_records", 0))
         if stream_path is not None:
@@ -332,6 +416,57 @@ class ServingRuntime:
                 "closed": self._closed,
             }
         return snapshot
+
+    @property
+    def metrics_registry(self) -> "MetricsRegistry | NullRegistry":
+        """The registry this runtime (and its engines) report into."""
+        return self._metrics_registry
+
+    def metrics(self) -> dict[str, object]:
+        """The registry snapshot plus a derived ``"slo"`` roll-up block.
+
+        The SLO block condenses the raw series into the handful of numbers
+        an operator actually watches: throughput (QPS over runtime uptime),
+        cache hit rate, queue-wait and batch-service percentiles, batch
+        occupancy, ingest lag (current and peak, records and bytes) and
+        worker health.  With metrics disabled every derived value is zero
+        and the ``"metrics"`` map is empty — the shape stays stable.
+        """
+        snapshot = self._metrics_registry.snapshot()
+        uptime = 0.0
+        if self._started_at is not None:
+            uptime = max(0.0, self._clock.monotonic() - self._started_at)
+        queries = self._m_queries.value
+        hits = self._m_cache_hits.value
+        misses = self._m_cache_misses.value
+        lookups = hits + misses
+        with self._state_lock:
+            workers_alive = len(self._workers)
+        snapshot["slo"] = {
+            "uptime_seconds": uptime,
+            "qps": queries / uptime if uptime > 0 else 0.0,
+            "queries": queries,
+            "batches": self._m_batches.value,
+            "mean_batch_occupancy": self._m_occupancy.mean,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "queue_wait_p50_ms": self._m_queue_wait.quantile(0.5) * 1e3,
+            "queue_wait_p99_ms": self._m_queue_wait.quantile(0.99) * 1e3,
+            "batch_service_p50_ms": self._m_service.quantile(0.5) * 1e3,
+            "batch_service_p99_ms": self._m_service.quantile(0.99) * 1e3,
+            "ingest_lag_records": self._m_lag_records.value,
+            "ingest_lag_records_peak": self._m_lag_records.peak,
+            "ingest_lag_bytes": self._m_lag_bytes.value,
+            "ingest_lag_bytes_peak": self._m_lag_bytes.peak,
+            "worker_deaths": self._m_worker_deaths.value,
+            "worker_respawns": self._m_worker_respawns.value,
+            "workers_alive": workers_alive,
+            "generation": self.generation,
+        }
+        return snapshot
+
+    def dump_metrics(self, path: str | Path) -> Path:
+        """Atomically write :meth:`metrics` as JSON to ``path``; returns it."""
+        return _dump_metrics(path, self.metrics())
 
     # ------------------------------------------------------------------ #
     # Query path
@@ -379,6 +514,12 @@ class ServingRuntime:
 
     def _execute_batch(self, batch: list[PendingQuery], replica: Engine) -> None:
         """Encode (per request, bit-identically) and answer one batch."""
+        observed = self._metrics_registry.enabled
+        execute_started = self._clock.monotonic() if observed else 0.0
+        if observed:
+            self._m_occupancy.observe(len(batch))
+            for entry in batch:
+                self._m_queue_wait.observe(max(0.0, execute_started - entry.enqueued_at))
         ready: list[tuple[PendingQuery, QueryRequest]] = []
         for entry in batch:
             try:
@@ -403,6 +544,10 @@ class ServingRuntime:
         with self._state_lock:
             self._queries += len(ready)
             self._batches += 1
+        self._m_queries.inc(len(ready))
+        self._m_batches.inc()
+        if observed:
+            self._m_service.observe(max(0.0, self._clock.monotonic() - execute_started))
 
     # ------------------------------------------------------------------ #
     # Worker supervision
@@ -420,9 +565,11 @@ class ServingRuntime:
                 self._workers.remove(worker)
             if reason == "killed":
                 self._worker_deaths += 1
+                self._m_worker_deaths.inc()
                 if not self._closed:
                     if self._respawns < self.config.max_worker_respawns:
                         self._respawns += 1
+                        self._m_worker_respawns.inc()
                         self._spawn_worker_locked()
                     elif not self._workers:
                         self._poisoned = True
@@ -473,6 +620,7 @@ class ServingRuntime:
             # class's lock discipline.
             with self._ingest_lock:
                 self._ingest_queue.append(wave)
+                self._note_ingest_lag_locked()
             self._ingest_wake.set()
         return len(wave)
 
@@ -527,11 +675,43 @@ class ServingRuntime:
             self.primary.ingest(wave)
         self._ingested_waves += 1
         self._groups_since_publish += 1
+        self._m_ingested_waves.inc()
+        self._m_ingested_records.inc(len(wave))
+        self._note_ingest_lag_locked()
 
     def _poll_stream_locked(self) -> int:
         """Pull full deterministic groups off the stream; returns records ingested."""
         if self._reader is None:
             return 0
+        observed = self._metrics_registry.enabled
+        offset_before = self._reader.offset
+        if observed:
+            self._observe_stream_lag_locked()  # backlog at poll start: peak = burst depth
+        ingested = self._poll_stream_groups_locked()
+        if observed:
+            self._m_stream_bytes.inc(max(0, self._reader.offset - offset_before))
+            self._observe_stream_lag_locked()
+            self._note_ingest_lag_locked()
+        return ingested
+
+    def _note_ingest_lag_locked(self) -> None:
+        """Publish the records-lag gauge: accepted but not yet in the primary."""
+        if not self._metrics_registry.enabled:
+            return
+        queued = sum(len(wave) for wave in self._ingest_queue) + len(self._stream_buffer)
+        self._m_lag_records.set(float(queued))
+
+    def _observe_stream_lag_locked(self) -> None:
+        """Publish the bytes-lag gauge: stream bytes on disk the reader has not consumed."""
+        if self._reader is None:
+            return
+        try:
+            size = self._reader.path.stat().st_size
+        except OSError:
+            return
+        self._m_lag_bytes.set(float(max(0, size - self._reader.offset)))
+
+    def _poll_stream_groups_locked(self) -> int:
         group_size = self.config.ingest_group_size
         ingested = 0
         while True:
@@ -552,6 +732,7 @@ class ServingRuntime:
             self.primary.ingest(group)
         self._ingested_records += len(group)
         self._groups_since_publish += 1
+        self._m_ingested_records.inc(len(group))
 
     def _drain_ingest_locked(self, *, force_partial: bool) -> dict[str, int | bool]:
         waves = 0
@@ -568,6 +749,7 @@ class ServingRuntime:
             self._ingest_group_locked(group)
             records += len(group)
             self._stream_base_state = self._reader.state
+        self._note_ingest_lag_locked()
         return {"waves": waves, "stream_records": records, "published": False}
 
     # ------------------------------------------------------------------ #
@@ -590,6 +772,7 @@ class ServingRuntime:
         self._groups_since_publish = 0
         self._publishes += 1
         self._publishes_since_checkpoint += 1
+        self._m_publishes.inc()
         self._hooks.on_publish(self._generation, len(self.primary))
         if self._checkpointer is not None and (
             force_checkpoint
@@ -598,6 +781,8 @@ class ServingRuntime:
             self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> None:
+        observed = self._metrics_registry.enabled
+        checkpoint_started = self._clock.monotonic() if observed else 0.0
         info = self._checkpointer.save(
             self.primary,
             generation=self._generation,
@@ -606,4 +791,9 @@ class ServingRuntime:
         )
         self._publishes_since_checkpoint = 0
         self._checkpoints += 1
+        self._m_checkpoints.inc()
+        if observed:
+            self._m_checkpoint_latency.observe(
+                max(0.0, self._clock.monotonic() - checkpoint_started)
+            )
         self._hooks.on_checkpoint(info.path, info.generation)

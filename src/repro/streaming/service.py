@@ -32,6 +32,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.nn import no_grad
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, NULL_REGISTRY
 from repro.serving.index import SearchResult, as_float32_matrix
 from repro.serving.store import EmbeddingStore
 from repro.streaming.reader import (
@@ -111,6 +112,7 @@ class IngestService:
         bucket_width: int = DEFAULT_BUCKET_WIDTH,
         cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
         metadata: dict | None = None,
+        metrics=None,
     ) -> None:
         self.encode = encode
         self.index = index if index is not None else ShardedIndex(shard_capacity=shard_capacity)
@@ -119,6 +121,18 @@ class IngestService:
         self._trajectory_ids: dict[int, int] = {}
         self._cache = _LRUCache(cache_size)
         self._encoded_batches = 0
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_wave_size = self._metrics.histogram(
+            "ingest_wave_size", "trajectories per ingest() call", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self._m_encode_batch = self._metrics.histogram(
+            "ingest_encode_batch_size",
+            "trajectories per emitted micro-batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_compactions = self._metrics.counter(
+            "ingest_compactions_total", "compactions that rewrote at least one shard"
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -161,6 +175,7 @@ class IngestService:
         if vectors.shape[0] != len(batch):
             raise ValueError(f"encode returned {vectors.shape[0]} rows for a batch of {len(batch)}")
         self._encoded_batches += 1
+        self._m_encode_batch.observe(len(batch))
         row_ids = self.index.add(vectors)
         for row_id, trajectory in zip(row_ids, batch):
             self._trajectory_ids[int(row_id)] = int(
@@ -182,6 +197,7 @@ class IngestService:
             ingested += self._append_batch(batch)
         if flush:
             ingested += self.flush()
+        self._m_wave_size.observe(ingested)
         return ingested
 
     def flush(self) -> int:
@@ -204,7 +220,10 @@ class IngestService:
 
     def compact(self, *, min_tombstones: int = 1) -> bool:
         """Compact the underlying index (see :meth:`ShardedIndex.compact`)."""
-        return self.index.compact(min_tombstones=min_tombstones)
+        compacted = self.index.compact(min_tombstones=min_tombstones)
+        if compacted:
+            self._m_compactions.inc()
+        return compacted
 
     # ------------------------------------------------------------------ #
     # Queries

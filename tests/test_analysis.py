@@ -427,6 +427,25 @@ def test_lock_rule_catches_pre_pr6_lru_cache():
     assert cache_findings == []
 
 
+def test_obs_paths_are_race_linted_and_the_real_registry_is_clean():
+    # PR 9 widened thread_paths to obs/: a lockless counter there is a finding.
+    unlocked_counter = """
+        class Counter:
+            def __init__(self):
+                self.value = 0.0
+
+            def inc(self, amount=1.0):
+                self.value += amount
+        """
+    found = findings_for(unlocked_counter, "obs/fixture.py", "race-lockless-class")
+    assert len(found) == 1
+    # The shipped registry holds its lock around every mutation, so the same
+    # rule that flags the fixture passes the real source.
+    current = (REPO_SRC / "obs" / "metrics.py").read_text()
+    assert findings_for(current, "obs/metrics.py", "race-lockless-class") == []
+    assert findings_for(current, "obs/metrics.py", "race-unguarded-write") == []
+
+
 def test_shared_marker_extends_race_scope_beyond_thread_paths():
     source = PRE_PR6_LRU_CACHE.replace(
         "class _LRUCache:", "class _LRUCache:  # thread: shared"
@@ -642,6 +661,7 @@ REL_PATHS = (
     "api/types.py",
     "eval/fixture.py",
     "utils/clock.py",
+    "obs/metrics.py",
 )
 
 

@@ -1,4 +1,4 @@
-"""Public-API surface lock for `repro.api`, `repro.server` and `repro.analysis`.
+"""Public-API surface lock for `repro.api`, `repro.server`, `repro.analysis` and `repro.obs`.
 
 ``tests/data/api_surface.json`` is the checked-in snapshot of the facade's
 contract: the exported names (``repro.api.__all__`` and
@@ -27,6 +27,7 @@ from pathlib import Path
 
 import repro.analysis as analysis
 import repro.api as api
+import repro.obs as obs
 import repro.server as server
 
 SNAPSHOT_PATH = Path(__file__).parent / "data" / "api_surface.json"
@@ -72,6 +73,17 @@ def current_surface() -> dict:
             if not name.startswith("_")
             and callable(getattr(server.ServingRuntime, name, None))
         ),
+    }
+    surface["obs"] = {
+        "__all__": sorted(obs.__all__),
+        "registry_methods": sorted(
+            name
+            for name in dir(obs.MetricsRegistry)
+            if not name.startswith("_")
+            and callable(getattr(obs.MetricsRegistry, name, None))
+        ),
+        "snapshot_schema": obs.SNAPSHOT_SCHEMA,
+        "snapshot_schema_version": obs.SNAPSHOT_SCHEMA_VERSION,
     }
     surface["analysis"] = {
         "__all__": sorted(analysis.__all__),

@@ -30,6 +30,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import Engine, QueryRequest
+from repro.obs import NULL_REGISTRY
 from repro.server import (
     BatchAggregator,
     Checkpointer,
@@ -555,3 +556,111 @@ class TestCrashRestartEquivalence:
         )
         with restored:
             assert_responses_identical(restored.query(request, timeout=30), expected)
+
+
+class TestRuntimeMetrics:
+    """The PR 9 observability contract: the runtime reports what it serves."""
+
+    def test_metrics_report_served_queries(self):
+        clock = VirtualClock()
+        runtime = make_runtime(clock=clock)  # default: a live registry
+        assert runtime.metrics_registry.enabled
+        with runtime:
+            requests = [
+                QueryRequest(queries=probe_queries(1, seed=seed), k=3) for seed in range(4)
+            ]
+            futures = [runtime.submit(request) for request in requests]
+            for future in futures:  # max_batch=4: the batch flushes on size
+                future.result(timeout=30)
+            # A second full batch (size-flushed again: the virtual clock never
+            # fires the linger timer) of identical queries -> replica-cache hits.
+            repeats = [runtime.submit(requests[0]) for _ in range(4)]
+            for future in repeats:
+                future.result(timeout=30)
+            clock.advance(2.0)  # virtual uptime, so qps is well-defined
+            snapshot = runtime.metrics()
+        slo = snapshot["slo"]
+        assert slo["queries"] == 8
+        assert slo["uptime_seconds"] == 2.0
+        assert slo["qps"] == 4.0
+        assert slo["mean_batch_occupancy"] > 0
+        assert slo["cache_hit_rate"] > 0
+        families = snapshot["metrics"]
+        assert families["server_batch_occupancy"]["series"][0]["count"] >= 1
+        assert families["server_queue_wait_seconds"]["series"][0]["count"] == 8
+        (backend,) = families["engine_query_seconds"]["series"]
+        assert backend["labels"]["backend"] == "bruteforce"
+        assert backend["count"] >= 1  # replica scans land in the shared registry
+
+    def test_ingest_lag_stream_and_checkpoint_metrics(self, tmp_path):
+        clock = VirtualClock()
+        engine = make_engine()
+        seed_engine(engine, 8)
+        runtime = make_runtime(
+            engine,
+            clock=clock,
+            checkpoint_dir=tmp_path / "ckpt",
+            publish_every_groups=1,
+        )
+        with runtime:
+            stream = tmp_path / "stream.jsonl"
+            write_stream(stream, range(2000, 2006))
+            runtime.attach_stream(stream)
+            runtime.submit_ingest([make_trajectory(3000 + i) for i in range(3)])
+            runtime.flush_ingest()  # drains the wave + all 6 stream records
+            snapshot = runtime.metrics()
+        slo = snapshot["slo"]
+        families = snapshot["metrics"]
+        # The lag gauges drained to zero but their peaks recorded the burst.
+        assert slo["ingest_lag_records"] == 0
+        assert slo["ingest_lag_records_peak"] >= 3
+        assert slo["ingest_lag_bytes"] == 0
+        assert slo["ingest_lag_bytes_peak"] > 0
+        assert families["server_ingested_records_total"]["series"][0]["value"] == 9
+        assert families["server_ingested_waves_total"]["series"][0]["value"] == 1
+        assert families["server_stream_bytes_total"]["series"][0]["value"] > 0
+        # flush_ingest force-checkpoints; its latency was observed (0 virtual s).
+        assert families["server_checkpoints_total"]["series"][0]["value"] >= 1
+        assert families["server_checkpoint_seconds"]["series"][0]["count"] >= 1
+
+    def test_null_registry_disables_collection_but_not_serving(self, tmp_path):
+        engine = make_engine()
+        seed_engine(engine, 8)
+        runtime = ServingRuntime(
+            engine,
+            ServerConfig(max_batch=2, linger=0.01, num_workers=1),
+            metrics=NULL_REGISTRY,
+        )
+        assert not runtime.metrics_registry.enabled
+        assert not engine.metrics_registry.enabled  # the primary stays unbound
+        with runtime:
+            response = runtime.query(QueryRequest(queries=probe_queries(2), k=3), timeout=30)
+            assert response.ids.shape == (2, 3)
+            snapshot = runtime.metrics()
+        assert snapshot["metrics"] == {}
+        assert snapshot["slo"]["queries"] == 0.0  # zeros, same shape as enabled
+        target = tmp_path / "snapshot.json"
+        assert runtime.dump_metrics(target) == target
+        assert json.loads(target.read_text())["slo"]["qps"] == 0.0
+
+    def test_runtime_adopts_a_prebound_engine_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = make_engine()
+        seed_engine(engine, 8)
+        engine.bind_metrics(registry)
+        runtime = make_runtime(engine)
+        assert runtime.metrics_registry is registry  # one registry, one snapshot
+
+    def test_worker_death_and_respawn_are_counted(self):
+        hooks = FaultInjector()
+        hooks.arm_kill()
+        runtime = make_runtime(hooks=hooks, num_workers=2, max_worker_respawns=2)
+        with runtime:
+            request = QueryRequest(queries=probe_queries(1), k=2)
+            runtime.query(request, timeout=30)  # first batch trips the kill
+            runtime.query(request, timeout=30)
+            families = runtime.metrics()["metrics"]
+        assert families["server_worker_deaths_total"]["series"][0]["value"] == 1
+        assert families["server_worker_respawns_total"]["series"][0]["value"] == 1
